@@ -1,0 +1,142 @@
+// Command coconut-sweep regenerates the paper's figures and tables: the
+// Figure 3 best-MTPS heat map, the Figure 4 latency-impact grid, the
+// Figure 5 scalability sweep, and Tables 7-20, each with paper-vs-measured
+// rows suitable for EXPERIMENTS.md.
+//
+// Examples:
+//
+//	coconut-sweep -figure 3                # full 42-cell heat map
+//	coconut-sweep -figure 4 -system Fabric # one system's latency column
+//	coconut-sweep -figure 5                # scalability, 4..32 nodes
+//	coconut-sweep -table 13+14             # Fabric SendPayment rows
+//	coconut-sweep -tables                  # all tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/coconut-bench/coconut/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coconut-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		figure    = flag.Int("figure", 0, "figure to regenerate (3, 4, or 5)")
+		mdPath    = flag.String("md", "", "also write a markdown report to this file")
+		table     = flag.String("table", "", "table to regenerate (7+8, 9+10, 11+12, 13+14, 15+16, 17+18, 19+20)")
+		allTables = flag.Bool("tables", false, "regenerate every table")
+		system    = flag.String("system", "", "restrict to one system")
+		scale     = flag.Float64("scale", 0.01, "time scale")
+		sendSec   = flag.Float64("send", 300, "sending window in paper seconds")
+		reps      = flag.Int("reps", 1, "repetitions (the paper uses 3)")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:       *scale,
+		SendSeconds: *sendSec,
+		Repetitions: *reps,
+		Seed:        *seed,
+	}
+
+	var md *os.File
+	if *mdPath != "" {
+		f, err := os.Create(*mdPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		md = f
+	}
+
+	did := false
+	switch *figure {
+	case 0:
+	case 3:
+		did = true
+		fmt.Println("== Figure 3: best MTPS per system and benchmark ==")
+		outcomes, err := experiments.RunFigure3(opts, *system, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if md != nil {
+			if err := experiments.WriteFigureReport(md, "Figure 3 — best MTPS heat map", outcomes); err != nil {
+				return err
+			}
+		}
+		for _, line := range experiments.ShapeChecks(outcomes) {
+			fmt.Println("  " + line)
+		}
+	case 4:
+		did = true
+		fmt.Println("== Figure 4: best configurations under emulated latency ==")
+		outcomes, err := experiments.RunFigure4(opts, *system, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if md != nil {
+			if err := experiments.WriteFigureReport(md, "Figure 4 — emulated latency", outcomes); err != nil {
+				return err
+			}
+		}
+	case 5:
+		did = true
+		fmt.Println("== Figure 5: DoNothing scalability (4/8/16/32 nodes) ==")
+		points, err := experiments.RunFigure5(opts, *system, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if md != nil {
+			if err := experiments.WriteScaleReport(md, "Figure 5 — scalability", points); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown figure %d (want 3, 4, or 5)", *figure)
+	}
+
+	runOne := func(tbl experiments.Table) error {
+		fmt.Printf("== Table %s: %s ==\n", tbl.ID, tbl.Title)
+		outcomes, err := experiments.RunTable(tbl, opts, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if md != nil {
+			return experiments.WriteTableReport(md, tbl, outcomes)
+		}
+		return nil
+	}
+	if *table != "" {
+		did = true
+		tbl, ok := experiments.TableByID(*table)
+		if !ok {
+			return fmt.Errorf("unknown table %q", *table)
+		}
+		if err := runOne(tbl); err != nil {
+			return err
+		}
+	}
+	if *allTables {
+		did = true
+		for _, tbl := range experiments.Tables {
+			if err := runOne(tbl); err != nil {
+				return err
+			}
+		}
+	}
+
+	if !did {
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -figure, -table, or -tables")
+	}
+	return nil
+}

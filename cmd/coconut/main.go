@@ -1,0 +1,83 @@
+// Command coconut runs a single COCONUT benchmark cell against one of the
+// seven simulated systems and prints the paper-style result row.
+//
+// Example:
+//
+//	coconut -system Fabric -benchmark DoNothing -rl 1600 -mm 1000
+//	coconut -system "Corda OS" -benchmark KeyValue-Set -rl 20
+//	coconut -system BitShares -benchmark DoNothing -rl 1600 -bi 1 -actions 100 -netem
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coconut:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		system    = flag.String("system", "Fabric", "system under test (Corda OS, Corda Enterprise, BitShares, Fabric, Quorum, Sawtooth, Diem)")
+		benchmark = flag.String("benchmark", "DoNothing", "benchmark (DoNothing, KeyValue-Set, KeyValue-Get, BankingApp-CreateAccount, BankingApp-SendPayment, BankingApp-Balance)")
+		rl        = flag.Int("rl", 400, "total rate limiter across the four clients (payloads/second)")
+		mm        = flag.Int("mm", 0, "Fabric MaxMessageCount")
+		bs        = flag.Int("bs", 0, "Diem max_block_size")
+		bi        = flag.Int("bi", 0, "BitShares block_interval (paper seconds)")
+		bp        = flag.Int("bp", 0, "Quorum istanbul.blockperiod (paper seconds)")
+		pd        = flag.Int("pd", 0, "Sawtooth block_publishing_delay (paper seconds)")
+		actions   = flag.Int("actions", 0, "operations per transaction (BitShares) or transactions per batch (Sawtooth)")
+		nodes     = flag.Int("nodes", 4, "network size")
+		netem     = flag.Bool("netem", false, "apply the paper's emulated latency (normal, mu 12ms, sigma 2ms)")
+		scale     = flag.Float64("scale", 0.01, "time scale (paper seconds x scale = simulation seconds)")
+		sendSec   = flag.Float64("send", 300, "sending window in paper seconds")
+		reps      = flag.Int("reps", 1, "repetitions (the paper uses 3)")
+		seed      = flag.Int64("seed", 42, "deterministic seed")
+		dbPath    = flag.String("db", "", "optional result database path (JSON); results are appended")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Scale:       *scale,
+		SendSeconds: *sendSec,
+		Repetitions: *reps,
+		Netem:       *netem,
+		Nodes:       *nodes,
+		Seed:        *seed,
+	}
+	params := experiments.Params{
+		RL: *rl, MM: *mm, BS: *bs, BI: *bi, BP: *bp, PD: *pd, Actions: *actions,
+	}
+
+	res, err := experiments.RunCell(*system, coconut.BenchmarkName(*benchmark), params, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(res.String())
+	fmt.Printf("  MTPS  mean=%.2f sd=%.2f sem=%.2f ci95=±%.2f (n=%d)\n",
+		res.MTPS.Mean, res.MTPS.SD, res.MTPS.SEM, res.MTPS.CI95, res.MTPS.N)
+	fmt.Printf("  MFLS  mean=%.3fs (%.1fs paper time)\n",
+		res.MFLS.Mean, opts.PaperSeconds(res.MFLS.Mean))
+	fmt.Printf("  NoT   received=%.0f expected=%.0f\n", res.Received.Mean, res.Expected.Mean)
+
+	if *dbPath != "" {
+		db, err := coconut.OpenResultDB(*dbPath)
+		if err != nil {
+			return err
+		}
+		if err := db.Store(res); err != nil {
+			return err
+		}
+		fmt.Printf("  stored in %s (%d results total)\n", *dbPath, db.Len())
+	}
+	return nil
+}

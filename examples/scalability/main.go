@@ -1,0 +1,91 @@
+// Scalability: reproduce the paper's §5.8.2 methodology — the DoNothing
+// benchmark at growing network sizes — for two systems with opposite
+// behaviour:
+//
+//   - Corda OS decays steeply: every flow is signed serially by all n-1
+//     counterparties, so adding nodes stretches every transaction.
+//   - BitShares' DPoS stays flat: the witness schedule adds no quorum
+//     communication, only schedule length (§5.8.2's one exception).
+//
+// Run with:
+//
+//	go run ./examples/scalability
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/systems/bitshares"
+	"github.com/coconut-bench/coconut/internal/systems/corda"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sizes := []int{4, 8, 16}
+
+	measure := func(system string, nodes int) (float64, error) {
+		newDriver := func() systems.Driver {
+			switch system {
+			case systems.NameCordaOS:
+				return corda.NewOS(corda.Config{
+					Nodes:          nodes,
+					SignProcessing: 3 * time.Millisecond, // serial per counterparty
+					ScanCost:       time.Microsecond,
+					FlowTimeout:    10 * time.Second,
+				})
+			default:
+				return bitshares.New(bitshares.Config{
+					Nodes:         nodes,
+					BlockInterval: 20 * time.Millisecond,
+				})
+			}
+		}
+		results, err := coconut.Run(coconut.RunConfig{
+			SystemName:   system,
+			NewDriver:    newDriver,
+			Unit:         []coconut.BenchmarkName{coconut.BenchDoNothing},
+			Clients:      4,
+			RateLimit:    150,
+			SendDuration: 1200 * time.Millisecond,
+			ListenGrace:  500 * time.Millisecond,
+			Repetitions:  1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return results[0].MTPS.Mean, nil
+	}
+
+	fmt.Println("DoNothing MTPS vs network size (paper Figure 5 methodology)")
+	fmt.Println()
+	fmt.Printf("%-12s", "nodes")
+	for _, n := range sizes {
+		fmt.Printf("%10d", n)
+	}
+	fmt.Println()
+
+	for _, system := range []string{systems.NameCordaOS, systems.NameBitShares} {
+		fmt.Printf("%-12s", system)
+		for _, n := range sizes {
+			tps, err := measure(system, n)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%10.1f", tps)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Expected shape: Corda OS decays steeply with size; BitShares stays flat.")
+	return nil
+}

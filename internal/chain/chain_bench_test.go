@@ -1,0 +1,87 @@
+package chain
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func benchTxs(n int) []*Transaction {
+	txs := make([]*Transaction, n)
+	for i := range txs {
+		txs[i] = NewSingleOp("bench", uint64(i), "keyvalue", "Set", fmt.Sprintf("k%d", i), "v")
+	}
+	return txs
+}
+
+func BenchmarkTransactionID(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = NewSingleOp("bench", uint64(i), "keyvalue", "Set", "key", "value")
+	}
+}
+
+func BenchmarkBlockSeal(b *testing.B) {
+	for _, size := range []int{10, 100, 1000} {
+		txs := benchTxs(size)
+		g := Genesis("bench")
+		b.Run(fmt.Sprintf("txs=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = NewBlock(g, "p", time.Unix(0, 0), txs)
+			}
+		})
+	}
+}
+
+func BenchmarkLedgerAppend(b *testing.B) {
+	txs := benchTxs(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	l := NewLedger("bench")
+	for i := 0; i < b.N; i++ {
+		blk := NewBlock(l.Head(), "p", time.Unix(0, 0), txs)
+		if err := l.Append(blk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVaultApply(b *testing.B) {
+	b.ReportAllocs()
+	v := NewVault()
+	for i := 0; i < b.N; i++ {
+		tx := NewUTXOTransaction("bench", uint64(i),
+			Operation{IEL: "keyvalue", Function: "Set"},
+			nil,
+			[]ContractState{{Kind: "kv", Key: fmt.Sprintf("k%d", i), Value: "v"}},
+		)
+		if err := v.Apply(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVaultLinearScan(b *testing.B) {
+	for _, size := range []int{100, 1000, 10000} {
+		v := NewVault()
+		for i := 0; i < size; i++ {
+			tx := NewUTXOTransaction("bench", uint64(i),
+				Operation{IEL: "keyvalue", Function: "Set"},
+				nil,
+				[]ContractState{{Kind: "kv", Key: fmt.Sprintf("k%d", i), Value: "v"}},
+			)
+			if err := v.Apply(tx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.Run(fmt.Sprintf("states=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Worst case: the key is the last state, full scan.
+				if _, _, ok := v.FindByKey("kv", fmt.Sprintf("k%d", size-1)); !ok {
+					b.Fatal("key not found")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,143 @@
+// Package chain defines the data structures shared by all seven simulated
+// systems: transactions (including multi-operation transactions and atomic
+// batches), hash-linked blocks, the append-only ledger, and UTXO primitives
+// for the Corda-style systems.
+package chain
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/crypto"
+)
+
+// Operation is a single state change. BitShares packs many operations into
+// one transaction (paper §2, Table 2); the other systems carry exactly one.
+type Operation struct {
+	// IEL names the interface execution layer ("donothing", "keyvalue",
+	// "bankingapp").
+	IEL string
+	// Function is the IEL function to invoke (e.g. "Set", "SendPayment").
+	Function string
+	// Args are the function arguments.
+	Args []string
+}
+
+// String renders the operation for tracing.
+func (o Operation) String() string {
+	return fmt.Sprintf("%s.%s(%s)", o.IEL, o.Function, strings.Join(o.Args, ","))
+}
+
+// Digest hashes the operation content.
+func (o Operation) Digest() crypto.Hash {
+	parts := make([][]byte, 0, len(o.Args)+2)
+	parts = append(parts, []byte(o.IEL), []byte(o.Function))
+	for _, a := range o.Args {
+		parts = append(parts, []byte(a))
+	}
+	return crypto.Sum(parts...)
+}
+
+// TxStatus is the lifecycle state of a transaction as seen by a node.
+type TxStatus int
+
+// Transaction lifecycle states.
+const (
+	TxPending TxStatus = iota + 1
+	TxCommitted
+	TxRejected
+)
+
+// String implements fmt.Stringer.
+func (s TxStatus) String() string {
+	switch s {
+	case TxPending:
+		return "pending"
+	case TxCommitted:
+		return "committed"
+	case TxRejected:
+		return "rejected"
+	default:
+		return fmt.Sprintf("TxStatus(%d)", int(s))
+	}
+}
+
+// Transaction is the unit submitted by COCONUT clients. Depending on the
+// system it carries one operation (Fabric, Quorum, Diem, Corda), several
+// operations (BitShares), or is grouped into a Batch (Sawtooth).
+type Transaction struct {
+	// ID uniquely identifies the transaction.
+	ID crypto.Hash
+	// Client is the submitting COCONUT client endpoint name.
+	Client string
+	// Seq is the client-local sequence number.
+	Seq uint64
+	// Ops are the operations; len(Ops) >= 1.
+	Ops []Operation
+	// SubmittedAt is stamped by the client just before sending (the paper's
+	// starttime, T0 in Figure 2).
+	SubmittedAt time.Time
+	// Signatures collected over the transaction digest.
+	Signatures []crypto.Signature
+}
+
+// NewTransaction builds a transaction with a derived ID.
+func NewTransaction(client string, seq uint64, ops ...Operation) *Transaction {
+	tx := &Transaction{Client: client, Seq: seq, Ops: ops}
+	tx.ID = tx.computeID()
+	return tx
+}
+
+// NewSingleOp is shorthand for the common one-operation transaction.
+func NewSingleOp(client string, seq uint64, iel, fn string, args ...string) *Transaction {
+	return NewTransaction(client, seq, Operation{IEL: iel, Function: fn, Args: args})
+}
+
+func (tx *Transaction) computeID() crypto.Hash {
+	leaves := make([]crypto.Hash, len(tx.Ops))
+	for i, op := range tx.Ops {
+		leaves[i] = op.Digest()
+	}
+	return crypto.TxID(tx.Client, tx.Seq, crypto.MerkleRoot(leaves).Bytes())
+}
+
+// Digest returns the signable content hash.
+func (tx *Transaction) Digest() crypto.Hash { return tx.ID }
+
+// OpCount returns the number of operations the transaction carries. The
+// paper counts each BitShares operation as one transaction for MTPS
+// purposes (§4.5), so throughput accounting uses this value.
+func (tx *Transaction) OpCount() int { return len(tx.Ops) }
+
+// Verify checks structural validity: a non-zero ID matching the content and
+// at least one operation.
+func (tx *Transaction) Verify() error {
+	if len(tx.Ops) == 0 {
+		return fmt.Errorf("tx %s: no operations", tx.ID.Short())
+	}
+	if tx.ID != tx.computeID() {
+		return fmt.Errorf("tx %s: id does not match content", tx.ID.Short())
+	}
+	return nil
+}
+
+// Batch is Sawtooth's atomic submission unit: several transactions that
+// commit or fail together (paper §2). A failure of any member discards the
+// whole batch.
+type Batch struct {
+	ID  crypto.Hash
+	Txs []*Transaction
+}
+
+// NewBatch groups transactions into an atomic batch.
+func NewBatch(txs ...*Transaction) *Batch {
+	leaves := make([]crypto.Hash, len(txs))
+	for i, tx := range txs {
+		leaves[i] = tx.ID
+	}
+	return &Batch{ID: crypto.MerkleRoot(leaves), Txs: txs}
+}
+
+// Size returns the number of member transactions.
+func (b *Batch) Size() int { return len(b.Txs) }

@@ -1,0 +1,76 @@
+// Package clock provides an injectable time source so that every component in
+// the simulated cluster (consensus pacemakers, block publishers, rate
+// limiters, the COCONUT client phases) can run against either the wall clock
+// or a deterministic virtual clock in tests.
+package clock
+
+import "time"
+
+// Clock abstracts the time source used by nodes and clients.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks for at least d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the current time after d.
+	After(d time.Duration) <-chan time.Time
+	// NewTicker returns a ticker firing every d.
+	NewTicker(d time.Duration) Ticker
+	// NewTimer returns a timer firing once after d.
+	NewTimer(d time.Duration) Timer
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+}
+
+// Ticker delivers ticks at intervals. It mirrors time.Ticker but is
+// interface-based so virtual clocks can implement it.
+type Ticker interface {
+	C() <-chan time.Time
+	Stop()
+	Reset(d time.Duration)
+}
+
+// Timer delivers a single tick. It mirrors time.Timer.
+type Timer interface {
+	C() <-chan time.Time
+	Stop() bool
+	Reset(d time.Duration) bool
+}
+
+// Real is a Clock backed by the time package. The zero value is ready to use.
+type Real struct{}
+
+var _ Clock = Real{}
+
+// New returns the default wall-clock implementation.
+func New() Clock { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// NewTicker implements Clock.
+func (Real) NewTicker(d time.Duration) Ticker { return &realTicker{t: time.NewTicker(d)} }
+
+// NewTimer implements Clock.
+func (Real) NewTimer(d time.Duration) Timer { return &realTimer{t: time.NewTimer(d)} }
+
+type realTicker struct{ t *time.Ticker }
+
+func (r *realTicker) C() <-chan time.Time   { return r.t.C }
+func (r *realTicker) Stop()                 { r.t.Stop() }
+func (r *realTicker) Reset(d time.Duration) { r.t.Reset(d) }
+
+type realTimer struct{ t *time.Timer }
+
+func (r *realTimer) C() <-chan time.Time        { return r.t.C }
+func (r *realTimer) Stop() bool                 { return r.t.Stop() }
+func (r *realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }

@@ -1,0 +1,317 @@
+package coconut
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/crypto"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// BatchSubmitter is implemented by drivers that accept atomic batches
+// (Sawtooth). The client uses it when BatchSize > 1.
+type BatchSubmitter interface {
+	SubmitBatch(entryNode int, b *chain.Batch) error
+}
+
+// ClientConfig parameterizes one COCONUT client application. The paper runs
+// four client applications, each with four client threads of four workload
+// threads (16 senders per application), each application targeting a
+// different server (§4.3).
+type ClientConfig struct {
+	// ID is the client application's name; events route to it.
+	ID string
+	// Driver is the system under test.
+	Driver systems.Driver
+	// EntryNode is the node this client sends to.
+	EntryNode int
+	// Benchmark selects the workload.
+	Benchmark BenchmarkName
+	// RateLimit is the maximum payloads per second this client sends — the
+	// paper's RL parameter (§4.4).
+	RateLimit int
+	// WorkloadThreads is the number of concurrent senders (paper: 16).
+	WorkloadThreads int
+	// OpsPerTx packs several operations into one transaction (BitShares:
+	// 1, 50, 100). Default 1.
+	OpsPerTx int
+	// BatchSize groups transactions into an atomic batch (Sawtooth: 1, 50,
+	// 100). Default 1. Requires the driver to implement BatchSubmitter
+	// when > 1.
+	BatchSize int
+	// SendDuration is the transaction sending window (paper: 300s).
+	SendDuration time.Duration
+	// ListenGrace is the extra listening window for late confirmations
+	// (paper: 30s).
+	ListenGrace time.Duration
+	// ReadMax, when non-zero, wraps generated indices so read benchmarks
+	// target keys the preceding write phase actually sent (per thread).
+	ReadMax []uint64
+	// Clock is the time source.
+	Clock clock.Clock
+}
+
+func (c *ClientConfig) fill() {
+	if c.RateLimit <= 0 {
+		c.RateLimit = 50
+	}
+	if c.WorkloadThreads <= 0 {
+		c.WorkloadThreads = 16
+	}
+	if c.OpsPerTx <= 0 {
+		c.OpsPerTx = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 1
+	}
+	if c.SendDuration <= 0 {
+		c.SendDuration = 300 * time.Second
+	}
+	if c.ListenGrace <= 0 {
+		c.ListenGrace = 30 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+}
+
+// Client is one COCONUT client application: it drives the workload threads,
+// rate-limits sends, and collects finalization notifications.
+type Client struct {
+	cfg ClientConfig
+
+	mu      sync.Mutex
+	records map[crypto.Hash]*TxRecord
+	sent    []uint64 // per-thread payload indices consumed
+	seq     uint64
+}
+
+// NewClient builds a client; Subscribe must happen before the system starts
+// delivering events, so construction registers the event listener.
+func NewClient(cfg ClientConfig) *Client {
+	cfg.fill()
+	c := &Client{
+		cfg:     cfg,
+		records: make(map[crypto.Hash]*TxRecord),
+		sent:    make([]uint64, cfg.WorkloadThreads),
+	}
+	cfg.Driver.Subscribe(cfg.ID, c.onEvent)
+	return c
+}
+
+// onEvent records a finalization notification (the paper's T3).
+func (c *Client) onEvent(ev systems.Event) {
+	now := c.cfg.Clock.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.records[ev.TxID]
+	if !ok || rec.Received {
+		return
+	}
+	rec.Received = true
+	rec.ValidOK = ev.ValidOK
+	rec.End = now
+}
+
+// Run executes the send and listen phases, blocking until both complete,
+// and returns every transaction record.
+func (c *Client) Run() []TxRecord {
+	stopSend := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Shared pacer: each token permits sending one transaction or batch,
+	// which accounts for OpsPerTx*BatchSize payloads against the rate
+	// limiter.
+	payloadsPerSend := c.cfg.OpsPerTx * c.cfg.BatchSize
+	interval := time.Duration(float64(time.Second) * float64(payloadsPerSend) / float64(c.cfg.RateLimit))
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tokens := make(chan struct{}, 1)
+	// Warm start: the first send happens immediately (the paper's threads
+	// start sending at t=0), then the pacer enforces the rate.
+	tokens <- struct{}{}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := c.cfg.Clock.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stopSend:
+				return
+			case <-tick.C():
+				select {
+				case tokens <- struct{}{}:
+				case <-stopSend:
+					return
+				}
+			}
+		}
+	}()
+
+	for t := 0; t < c.cfg.WorkloadThreads; t++ {
+		t := t
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.workloadThread(t, tokens, stopSend)
+		}()
+	}
+
+	c.cfg.Clock.Sleep(c.cfg.SendDuration)
+	close(stopSend)
+	wg.Wait()
+	c.cfg.Clock.Sleep(c.cfg.ListenGrace)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]TxRecord, 0, len(c.records))
+	for _, rec := range c.records {
+		out = append(out, *rec)
+	}
+	return out
+}
+
+// workloadThread sends transactions sequentially without waiting for
+// finalization confirmations (§4.3).
+func (c *Client) workloadThread(thread int, tokens <-chan struct{}, stop <-chan struct{}) {
+	threadKey := c.cfg.ID + "/" + strconv.Itoa(thread)
+	gen := NewOpGen(c.cfg.Benchmark, threadKey)
+	var readMax uint64
+	if thread < len(c.cfg.ReadMax) {
+		readMax = c.cfg.ReadMax[thread]
+	}
+	// A read thread whose write-phase counterpart got nothing accepted has
+	// no key space to read; it stays idle rather than querying keys that
+	// were never written.
+	if ReadBenchmarkDependsOnWrite(c.cfg.Benchmark) != "" && len(c.cfg.ReadMax) > 0 && readMax == 0 {
+		return
+	}
+	var idx uint64
+
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tokens:
+		}
+
+		if c.cfg.BatchSize > 1 {
+			c.sendBatch(thread, gen, &idx, readMax)
+		} else {
+			c.sendTx(thread, gen, &idx, readMax)
+		}
+	}
+}
+
+// nextIndex produces the generator index, wrapping into the written key
+// space for read benchmarks.
+func nextIndex(idx *uint64, readMax uint64) uint64 {
+	i := *idx
+	*idx++
+	if readMax > 0 {
+		return i % readMax
+	}
+	return i
+}
+
+func (c *Client) sendTx(thread int, gen OpGen, idx *uint64, readMax uint64) {
+	ops := make([]chain.Operation, c.cfg.OpsPerTx)
+	for i := range ops {
+		ops[i] = gen(nextIndex(idx, readMax))
+	}
+	c.mu.Lock()
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	tx := chain.NewTransaction(c.cfg.ID, seq, ops...)
+
+	start := c.cfg.Clock.Now()
+	tx.SubmittedAt = start
+	c.track(tx.ID, start, len(ops), thread)
+	// A submission error is an admission rejection: the record stays
+	// unreceived and counts as lost, matching the paper's accounting. The
+	// consumed indices roll back so the written key space stays
+	// contiguous — rejected writes never reached the chain, and the
+	// paper's clients re-send into the same space.
+	if err := c.cfg.Driver.Submit(c.cfg.EntryNode, tx); err != nil {
+		*idx -= uint64(len(ops))
+		return
+	}
+	c.countSent(thread, len(ops))
+}
+
+func (c *Client) sendBatch(thread int, gen OpGen, idx *uint64, readMax uint64) {
+	bs, ok := c.cfg.Driver.(BatchSubmitter)
+	txs := make([]*chain.Transaction, c.cfg.BatchSize)
+	start := c.cfg.Clock.Now()
+	for i := range txs {
+		op := gen(nextIndex(idx, readMax))
+		c.mu.Lock()
+		c.seq++
+		seq := c.seq
+		c.mu.Unlock()
+		txs[i] = chain.NewSingleOp(c.cfg.ID, seq, op.IEL, op.Function, op.Args...)
+		txs[i].SubmittedAt = start
+		c.track(txs[i].ID, start, 1, thread)
+	}
+	if ok {
+		// On rejection (Sawtooth's full queue) the whole batch is lost and
+		// its key range rolls back for reuse by the next batch.
+		if err := bs.SubmitBatch(c.cfg.EntryNode, chain.NewBatch(txs...)); err != nil {
+			*idx -= uint64(len(txs))
+			return
+		}
+		c.countSent(thread, len(txs))
+		return
+	}
+	// Driver without batch support: degrade to individual sends.
+	for _, tx := range txs {
+		if err := c.cfg.Driver.Submit(c.cfg.EntryNode, tx); err == nil {
+			c.countSent(thread, 1)
+		}
+	}
+}
+
+func (c *Client) track(id crypto.Hash, start time.Time, ops, thread int) {
+	c.mu.Lock()
+	c.records[id] = &TxRecord{Start: start, Ops: ops, Thread: thread}
+	c.mu.Unlock()
+}
+
+// countSent advances the per-thread accepted-payload counter, which bounds
+// dependent read phases via ReadMax.
+func (c *Client) countSent(thread, ops int) {
+	c.mu.Lock()
+	c.sent[thread] += uint64(ops)
+	c.mu.Unlock()
+}
+
+// SentCounts returns the per-thread payload counts accepted so far.
+func (c *Client) SentCounts() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, len(c.sent))
+	copy(out, c.sent)
+	return out
+}
+
+// ReceivedCounts returns the per-thread payload counts that were confirmed
+// end to end. Admission queues are FIFO, so the confirmed prefix of each
+// thread's key space is contiguous — the runner feeds these counts into
+// dependent read phases as ReadMax.
+func (c *Client) ReceivedCounts() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, c.cfg.WorkloadThreads)
+	for _, rec := range c.records {
+		if rec.Received && rec.Thread < len(out) {
+			out[rec.Thread] += uint64(rec.Ops)
+		}
+	}
+	return out
+}

@@ -1,0 +1,198 @@
+// Package coconut implements the COCONUT benchmarking framework from the
+// paper (§3-§4): clients that generate rate-limited workloads against a
+// blockchain system through the Blockchain Access Layer, collect
+// finalization notifications end to end, and compute the evaluation metrics
+// — MTPS (formula 2), MFLS (formula 1), Duration (formula 3), and the
+// number-of-transactions accounting — with SD, SEM, and 95% confidence
+// intervals across repetitions.
+package coconut
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TxRecord is one transaction's client-side lifecycle (T0 and T3 in the
+// paper's Figure 2).
+type TxRecord struct {
+	// Start is stamped just before the request is sent (starttime).
+	Start time.Time
+	// End is stamped when the finalization confirmation arrives (endtime);
+	// zero if never received.
+	End time.Time
+	// Ops is the payload count the transaction carried (BitShares
+	// operations each count as one transaction, §4.5).
+	Ops int
+	// Received reports whether the confirmation arrived.
+	Received bool
+	// ValidOK mirrors the system's validation verdict, when received.
+	ValidOK bool
+	// Thread is the workload thread that sent the transaction, used to
+	// carry per-thread written ranges into dependent read phases.
+	Thread int
+}
+
+// FLS returns the finalization latency (endtime - starttime).
+func (r TxRecord) FLS() time.Duration {
+	if !r.Received {
+		return 0
+	}
+	return r.End.Sub(r.Start)
+}
+
+// RepetitionResult holds the metrics of one benchmark execution across all
+// clients.
+type RepetitionResult struct {
+	// TPS is transactions per second: received payloads / duration.
+	TPS float64
+	// FLS is the mean finalization latency in seconds over received
+	// transactions.
+	FLS float64
+	// DurationSec is t_lrtx - t_fstx (formula 3) in seconds.
+	DurationSec float64
+	// ReceivedNoT counts received payloads (operations).
+	ReceivedNoT int
+	// ExpectedNoT counts sent payloads.
+	ExpectedNoT int
+}
+
+// ComputeRepetition derives one repetition's metrics from the raw records
+// of every client, following §4.5: t_fstx is the first send across all
+// clients, t_lrtx the last confirmation across all clients.
+func ComputeRepetition(records []TxRecord) RepetitionResult {
+	var (
+		first      time.Time
+		last       time.Time
+		received   int
+		expected   int
+		latencySum time.Duration
+		latencyN   int
+	)
+	for _, r := range records {
+		expected += r.Ops
+		if first.IsZero() || r.Start.Before(first) {
+			first = r.Start
+		}
+		if !r.Received {
+			continue
+		}
+		received += r.Ops
+		if r.End.After(last) {
+			last = r.End
+		}
+		latencySum += r.FLS()
+		latencyN++
+	}
+	res := RepetitionResult{ReceivedNoT: received, ExpectedNoT: expected}
+	if received > 0 && last.After(first) {
+		res.DurationSec = last.Sub(first).Seconds()
+		res.TPS = float64(received) / res.DurationSec
+	}
+	if latencyN > 0 {
+		res.FLS = (latencySum / time.Duration(latencyN)).Seconds()
+	}
+	return res
+}
+
+// Stats summarises a metric across repetitions: mean, standard deviation,
+// standard error of the mean, and the 95% confidence interval half-width.
+type Stats struct {
+	Mean float64
+	SD   float64
+	SEM  float64
+	CI95 float64
+	N    int
+}
+
+// tCritical95 holds two-sided t-distribution critical values at 95%
+// confidence for small degrees of freedom; the paper runs r = 3
+// repetitions, i.e. dof = 2 → 4.303, which matches its reported CI/SEM
+// ratios.
+var tCritical95 = map[int]float64{
+	1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+	6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+}
+
+func tCrit(dof int) float64 {
+	if v, ok := tCritical95[dof]; ok {
+		return v
+	}
+	return 1.96
+}
+
+// Summarize computes Stats over the given samples.
+func Summarize(samples []float64) Stats {
+	n := len(samples)
+	if n == 0 {
+		return Stats{}
+	}
+	var sum float64
+	for _, s := range samples {
+		sum += s
+	}
+	mean := sum / float64(n)
+	if n == 1 {
+		return Stats{Mean: mean, N: 1}
+	}
+	var sq float64
+	for _, s := range samples {
+		sq += (s - mean) * (s - mean)
+	}
+	sd := math.Sqrt(sq / float64(n-1)) // sample standard deviation
+	sem := sd / math.Sqrt(float64(n))
+	return Stats{
+		Mean: mean,
+		SD:   sd,
+		SEM:  sem,
+		CI95: tCrit(n-1) * sem,
+		N:    n,
+	}
+}
+
+// Result aggregates a full benchmark: MTPS and MFLS (formulas 2 and 1) plus
+// duration and transaction-count statistics across repetitions.
+type Result struct {
+	System    string
+	Benchmark string
+	// Params echoes the configuration knobs for the report (RL, MM, BP...).
+	Params map[string]string
+
+	MTPS     Stats
+	MFLS     Stats
+	Duration Stats
+	Received Stats
+	Expected Stats
+
+	Repetitions []RepetitionResult
+}
+
+// Aggregate folds repetition results into a Result.
+func Aggregate(system, benchmark string, params map[string]string, reps []RepetitionResult) Result {
+	var tps, fls, dur, recv, exp []float64
+	for _, r := range reps {
+		tps = append(tps, r.TPS)
+		fls = append(fls, r.FLS)
+		dur = append(dur, r.DurationSec)
+		recv = append(recv, float64(r.ReceivedNoT))
+		exp = append(exp, float64(r.ExpectedNoT))
+	}
+	return Result{
+		System:      system,
+		Benchmark:   benchmark,
+		Params:      params,
+		MTPS:        Summarize(tps),
+		MFLS:        Summarize(fls),
+		Duration:    Summarize(dur),
+		Received:    Summarize(recv),
+		Expected:    Summarize(exp),
+		Repetitions: reps,
+	}
+}
+
+// String renders the result as one row in the paper's reporting style.
+func (r Result) String() string {
+	return fmt.Sprintf("%-18s %-26s MTPS=%.2f MFLS=%.2fs D=%.2fs NoT=%.0f/%.0f",
+		r.System, r.Benchmark, r.MTPS.Mean, r.MFLS.Mean, r.Duration.Mean,
+		r.Received.Mean, r.Expected.Mean)
+}

@@ -1,0 +1,169 @@
+package coconut
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func rec(start, end int64, ops int, received bool) TxRecord {
+	r := TxRecord{
+		Start: time.Unix(start, 0),
+		Ops:   ops,
+	}
+	if received {
+		r.Received = true
+		r.End = time.Unix(end, 0)
+	}
+	return r
+}
+
+func TestComputeRepetitionBasic(t *testing.T) {
+	records := []TxRecord{
+		rec(0, 2, 1, true),  // FLS 2s
+		rec(1, 5, 1, true),  // FLS 4s
+		rec(2, 0, 1, false), // lost
+	}
+	res := ComputeRepetition(records)
+	if res.ExpectedNoT != 3 || res.ReceivedNoT != 2 {
+		t.Fatalf("NoT = %d/%d, want 2/3", res.ReceivedNoT, res.ExpectedNoT)
+	}
+	// Duration = t_lrtx(5) - t_fstx(0) = 5s; TPS = 2/5.
+	if res.DurationSec != 5 {
+		t.Fatalf("duration = %v, want 5", res.DurationSec)
+	}
+	if math.Abs(res.TPS-0.4) > 1e-9 {
+		t.Fatalf("TPS = %v, want 0.4", res.TPS)
+	}
+	// MFLS = (2+4)/2 = 3s.
+	if math.Abs(res.FLS-3) > 1e-9 {
+		t.Fatalf("FLS = %v, want 3", res.FLS)
+	}
+}
+
+func TestComputeRepetitionAllLost(t *testing.T) {
+	records := []TxRecord{rec(0, 0, 1, false), rec(1, 0, 1, false)}
+	res := ComputeRepetition(records)
+	if res.TPS != 0 || res.FLS != 0 || res.ReceivedNoT != 0 {
+		t.Fatalf("res = %+v, want zeros (paper's failed cells)", res)
+	}
+	if res.ExpectedNoT != 2 {
+		t.Fatalf("expected = %d", res.ExpectedNoT)
+	}
+}
+
+func TestComputeRepetitionEmpty(t *testing.T) {
+	res := ComputeRepetition(nil)
+	if res.TPS != 0 || res.ExpectedNoT != 0 {
+		t.Fatalf("res = %+v", res)
+	}
+}
+
+func TestComputeRepetitionOpsCounting(t *testing.T) {
+	// BitShares-style: one transaction carrying 100 operations counts as
+	// 100 transactions (§4.5).
+	records := []TxRecord{rec(0, 1, 100, true)}
+	res := ComputeRepetition(records)
+	if res.ReceivedNoT != 100 {
+		t.Fatalf("received = %d, want 100", res.ReceivedNoT)
+	}
+	if res.TPS != 100 {
+		t.Fatalf("TPS = %v, want 100", res.TPS)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4.08, 4.07, 4.09})
+	if math.Abs(s.Mean-4.08) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.SD <= 0 || s.SEM <= 0 || s.CI95 <= 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	// dof=2 → t=4.303; CI = 4.303 * SEM, matching the paper's tables.
+	if math.Abs(s.CI95-4.303*s.SEM) > 1e-9 {
+		t.Fatalf("CI95 = %v, want 4.303*SEM = %v", s.CI95, 4.303*s.SEM)
+	}
+}
+
+func TestSummarizeSingleSample(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.SD != 0 || s.N != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 || s.Mean != 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestSummarizeLargeN(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i)
+	}
+	s := Summarize(samples)
+	if math.Abs(s.CI95-1.96*s.SEM) > 1e-9 {
+		t.Fatalf("large-N CI must use z=1.96, got ratio %v", s.CI95/s.SEM)
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	reps := []RepetitionResult{
+		{TPS: 10, FLS: 1, DurationSec: 100, ReceivedNoT: 1000, ExpectedNoT: 1200},
+		{TPS: 12, FLS: 1.2, DurationSec: 98, ReceivedNoT: 1100, ExpectedNoT: 1200},
+		{TPS: 11, FLS: 1.1, DurationSec: 99, ReceivedNoT: 1050, ExpectedNoT: 1200},
+	}
+	r := Aggregate("Fabric", "DoNothing", map[string]string{"MM": "500"}, reps)
+	if math.Abs(r.MTPS.Mean-11) > 1e-9 {
+		t.Fatalf("MTPS = %v", r.MTPS.Mean)
+	}
+	if r.MTPS.N != 3 || len(r.Repetitions) != 3 {
+		t.Fatal("repetition bookkeeping wrong")
+	}
+	if r.Params["MM"] != "500" {
+		t.Fatal("params lost")
+	}
+	if r.String() == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// Property: MTPS mean always lies within [min, max] of samples.
+func TestPropertySummarizeMeanBounded(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range raw {
+			samples[i] = float64(v)
+			lo = math.Min(lo, samples[i])
+			hi = math.Max(hi, samples[i])
+		}
+		s := Summarize(samples)
+		return s.Mean >= lo-1e-9 && s.Mean <= hi+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: received NoT never exceeds expected NoT.
+func TestPropertyReceivedNeverExceedsExpected(t *testing.T) {
+	f := func(flags []bool) bool {
+		records := make([]TxRecord, len(flags))
+		for i, ok := range flags {
+			records[i] = rec(int64(i), int64(i+1), 1, ok)
+		}
+		res := ComputeRepetition(records)
+		return res.ReceivedNoT <= res.ExpectedNoT
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

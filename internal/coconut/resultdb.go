@@ -1,0 +1,129 @@
+package coconut
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ResultDB is the persistent store for collected evaluation data — the
+// paper's database component (§3), reduced to an embedded JSON store since
+// the engine behind it contributes nothing to the metrics.
+type ResultDB struct {
+	mu      sync.Mutex
+	path    string
+	results []StoredResult
+}
+
+// StoredResult wraps a Result with storage metadata.
+type StoredResult struct {
+	StoredAt time.Time `json:"storedAt"`
+	Result   Result    `json:"result"`
+}
+
+// jsonResult mirrors Result for stable serialization.
+type jsonStats struct {
+	Mean float64 `json:"mean"`
+	SD   float64 `json:"sd"`
+	SEM  float64 `json:"sem"`
+	CI95 float64 `json:"ci95"`
+	N    int     `json:"n"`
+}
+
+// MarshalJSON implements json.Marshaler for Stats.
+func (s Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonStats{Mean: s.Mean, SD: s.SD, SEM: s.SEM, CI95: s.CI95, N: s.N})
+}
+
+// UnmarshalJSON implements json.Unmarshaler for Stats.
+func (s *Stats) UnmarshalJSON(data []byte) error {
+	var js jsonStats
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	*s = Stats{Mean: js.Mean, SD: js.SD, SEM: js.SEM, CI95: js.CI95, N: js.N}
+	return nil
+}
+
+// OpenResultDB opens (or creates) a result store at path.
+func OpenResultDB(path string) (*ResultDB, error) {
+	db := &ResultDB{path: path}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return db, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("open result db: %w", err)
+	}
+	if len(data) > 0 {
+		if err := json.Unmarshal(data, &db.results); err != nil {
+			return nil, fmt.Errorf("parse result db: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// Store appends results and persists the file atomically.
+func (db *ResultDB) Store(results ...Result) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	now := time.Now().UTC()
+	for _, r := range results {
+		db.results = append(db.results, StoredResult{StoredAt: now, Result: r})
+	}
+	return db.flushLocked()
+}
+
+func (db *ResultDB) flushLocked() error {
+	data, err := json.MarshalIndent(db.results, "", "  ")
+	if err != nil {
+		return fmt.Errorf("encode result db: %w", err)
+	}
+	tmp := db.path + ".tmp"
+	if err := os.MkdirAll(filepath.Dir(db.path), 0o755); err != nil {
+		return fmt.Errorf("result db dir: %w", err)
+	}
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("write result db: %w", err)
+	}
+	return os.Rename(tmp, db.path)
+}
+
+// All returns a snapshot of every stored result.
+func (db *ResultDB) All() []StoredResult {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]StoredResult, len(db.results))
+	copy(out, db.results)
+	return out
+}
+
+// Query returns results for a system/benchmark pair ("" matches anything),
+// sorted by storage time.
+func (db *ResultDB) Query(system, benchmark string) []StoredResult {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []StoredResult
+	for _, sr := range db.results {
+		if system != "" && sr.Result.System != system {
+			continue
+		}
+		if benchmark != "" && sr.Result.Benchmark != benchmark {
+			continue
+		}
+		out = append(out, sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].StoredAt.Before(out[j].StoredAt) })
+	return out
+}
+
+// Len reports the number of stored results.
+func (db *ResultDB) Len() int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return len(db.results)
+}

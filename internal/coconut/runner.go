@@ -1,0 +1,212 @@
+package coconut
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// RunConfig describes one benchmark unit execution: a fresh system is
+// provisioned per repetition, the unit's benchmarks run back to back on it,
+// and clients are re-provisioned per benchmark (§4.1).
+type RunConfig struct {
+	// SystemName labels the result rows.
+	SystemName string
+	// NewDriver provisions a fresh system (called once per repetition).
+	NewDriver func() systems.Driver
+	// Unit lists the benchmarks to run in sequence on the same system.
+	Unit []BenchmarkName
+	// Clients is the number of COCONUT client applications (paper: 4, one
+	// per server).
+	Clients int
+	// RateLimit is payloads/second per client (the paper's RL).
+	RateLimit int
+	// WorkloadThreads per client (paper: 16).
+	WorkloadThreads int
+	// OpsPerTx and BatchSize mirror ClientConfig.
+	OpsPerTx  int
+	BatchSize int
+	// SendDuration and ListenGrace mirror ClientConfig; scaled-down values
+	// regenerate the paper's shapes quickly.
+	SendDuration time.Duration
+	ListenGrace  time.Duration
+	// StabilizeDelay waits after provisioning before the workload starts
+	// (paper: 180s for BitShares/Quorum, 60s for Sawtooth, §4.4).
+	StabilizeDelay time.Duration
+	// QuiesceTimeout caps the inter-benchmark wait for systems whose
+	// queues drain slowly (the paper's clients terminate 90s after
+	// listening stops, leaving queues time to empty). Default 8s.
+	QuiesceTimeout time.Duration
+	// Repetitions is r in the paper's formulas (paper: 3).
+	Repetitions int
+	// Params echoes configuration knobs into the result rows.
+	Params map[string]string
+	// Clock is the time source.
+	Clock clock.Clock
+}
+
+func (c *RunConfig) fill() {
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.WorkloadThreads <= 0 {
+		c.WorkloadThreads = 16
+	}
+	if c.Repetitions <= 0 {
+		c.Repetitions = 3
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+	if len(c.Unit) == 0 {
+		c.Unit = []BenchmarkName{BenchDoNothing}
+	}
+	if c.QuiesceTimeout <= 0 {
+		c.QuiesceTimeout = 8 * time.Second
+	}
+}
+
+// Run executes the configured benchmark unit and returns one aggregated
+// Result per unit member, in unit order.
+func Run(cfg RunConfig) ([]Result, error) {
+	cfg.fill()
+	if cfg.NewDriver == nil {
+		return nil, fmt.Errorf("coconut: RunConfig.NewDriver is required")
+	}
+
+	perBench := make(map[BenchmarkName][]RepetitionResult, len(cfg.Unit))
+	for rep := 0; rep < cfg.Repetitions; rep++ {
+		repResults, err := runRepetition(cfg, rep)
+		if err != nil {
+			return nil, fmt.Errorf("repetition %d: %w", rep, err)
+		}
+		for b, r := range repResults {
+			perBench[b] = append(perBench[b], r)
+		}
+	}
+
+	results := make([]Result, 0, len(cfg.Unit))
+	for _, b := range cfg.Unit {
+		results = append(results, Aggregate(cfg.SystemName, string(b), cfg.Params, perBench[b]))
+	}
+	return results, nil
+}
+
+// runRepetition provisions one fresh system and runs every unit member.
+func runRepetition(cfg RunConfig, rep int) (map[BenchmarkName]RepetitionResult, error) {
+	driver := cfg.NewDriver()
+	if err := driver.Start(); err != nil {
+		return nil, fmt.Errorf("start driver: %w", err)
+	}
+	defer driver.Stop()
+	if cfg.StabilizeDelay > 0 {
+		cfg.Clock.Sleep(cfg.StabilizeDelay)
+	}
+
+	out := make(map[BenchmarkName]RepetitionResult, len(cfg.Unit))
+	// writtenCounts carries the write phase's per-client per-thread send
+	// counts into dependent read phases.
+	writtenCounts := make(map[BenchmarkName][][]uint64)
+
+	for _, bench := range cfg.Unit {
+		var readMax [][]uint64
+		if dep := ReadBenchmarkDependsOnWrite(bench); dep != "" {
+			readMax = writtenCounts[dep]
+			if bench == BenchSendPayment {
+				// SendPayment(n, n+1) needs account n+1 to exist.
+				readMax = decrementCounts(readMax)
+			}
+		}
+
+		records, sent := runBenchmark(cfg, driver, bench, rep, readMax)
+		writtenCounts[bench] = sent
+		out[bench] = ComputeRepetition(records)
+		quiesce(cfg, driver)
+	}
+	return out, nil
+}
+
+// quiesce waits for slow admission queues to empty between unit members,
+// bounded by QuiesceTimeout. Systems without backlogs return immediately.
+func quiesce(cfg RunConfig, driver systems.Driver) {
+	q, ok := driver.(systems.Quiescer)
+	if !ok {
+		return
+	}
+	deadline := cfg.Clock.Now().Add(cfg.QuiesceTimeout)
+	for cfg.Clock.Now().Before(deadline) {
+		if q.Drained() {
+			return
+		}
+		cfg.Clock.Sleep(20 * time.Millisecond)
+	}
+}
+
+// runBenchmark provisions fresh clients and executes one benchmark.
+func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep int, readMax [][]uint64) ([]TxRecord, [][]uint64) {
+	clients := make([]*Client, cfg.Clients)
+	for i := 0; i < cfg.Clients; i++ {
+		var rm []uint64
+		if i < len(readMax) {
+			rm = readMax[i]
+		}
+		clients[i] = NewClient(ClientConfig{
+			// The client identity is stable across unit members and
+			// repetitions so read phases regenerate the write phase's keys.
+			ID:              fmt.Sprintf("coconut-client-%d", i),
+			Driver:          driver,
+			EntryNode:       i, // each client targets a different server (§4.3)
+			Benchmark:       bench,
+			RateLimit:       cfg.RateLimit,
+			WorkloadThreads: cfg.WorkloadThreads,
+			OpsPerTx:        cfg.OpsPerTx,
+			BatchSize:       cfg.BatchSize,
+			SendDuration:    cfg.SendDuration,
+			ListenGrace:     cfg.ListenGrace,
+			ReadMax:         rm,
+			Clock:           cfg.Clock,
+		})
+	}
+
+	// All clients wait on a shared barrier so load starts uniformly (§4.3).
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var all []TxRecord
+	start := make(chan struct{})
+	for _, cl := range clients {
+		cl := cl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			records := cl.Run()
+			mu.Lock()
+			all = append(all, records...)
+			mu.Unlock()
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	written := make([][]uint64, len(clients))
+	for i, cl := range clients {
+		written[i] = cl.ReceivedCounts()
+	}
+	return all, written
+}
+
+func decrementCounts(in [][]uint64) [][]uint64 {
+	out := make([][]uint64, len(in))
+	for i, row := range in {
+		out[i] = make([]uint64, len(row))
+		for j, v := range row {
+			if v > 0 {
+				out[i][j] = v - 1
+			}
+		}
+	}
+	return out
+}

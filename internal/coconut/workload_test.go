@@ -1,0 +1,93 @@
+package coconut
+
+import (
+	"testing"
+
+	"github.com/coconut-bench/coconut/internal/iel"
+)
+
+func TestDoNothingGen(t *testing.T) {
+	gen := NewOpGen(BenchDoNothing, "c0/0")
+	op := gen(0)
+	if op.IEL != iel.DoNothingName || op.Function != iel.FnDoNothing {
+		t.Fatalf("op = %v", op)
+	}
+}
+
+func TestKeyValueSetKeysAreUnique(t *testing.T) {
+	gen := NewOpGen(BenchKeyValueSet, "c0/0")
+	seen := make(map[string]bool)
+	for i := uint64(0); i < 1000; i++ {
+		op := gen(i)
+		if seen[op.Args[0]] {
+			t.Fatalf("duplicate key %q (paper: no duplicates during writing)", op.Args[0])
+		}
+		seen[op.Args[0]] = true
+	}
+}
+
+func TestKeyValueThreadsPartitioned(t *testing.T) {
+	a := NewOpGen(BenchKeyValueSet, "c0/0")(5)
+	b := NewOpGen(BenchKeyValueSet, "c0/1")(5)
+	if a.Args[0] == b.Args[0] {
+		t.Fatal("different threads generated the same key")
+	}
+}
+
+func TestGetTargetsSetKeys(t *testing.T) {
+	set := NewOpGen(BenchKeyValueSet, "c0/0")(7)
+	get := NewOpGen(BenchKeyValueGet, "c0/0")(7)
+	if set.Args[0] != get.Args[0] {
+		t.Fatalf("Get key %q != Set key %q", get.Args[0], set.Args[0])
+	}
+}
+
+func TestSendPaymentChainsAccounts(t *testing.T) {
+	create := NewOpGen(BenchCreateAccount, "c0/0")
+	pay := NewOpGen(BenchSendPayment, "c0/0")
+	op := pay(3)
+	if op.Args[0] != create(3).Args[0] {
+		t.Fatal("payment source is not account n")
+	}
+	if op.Args[1] != create(4).Args[0] {
+		t.Fatal("payment target is not account n+1")
+	}
+}
+
+func TestBalanceTargetsCreatedAccounts(t *testing.T) {
+	create := NewOpGen(BenchCreateAccount, "c0/0")(2)
+	bal := NewOpGen(BenchBalance, "c0/0")(2)
+	if create.Args[0] != bal.Args[0] {
+		t.Fatal("balance does not target created account")
+	}
+}
+
+func TestReadDependencies(t *testing.T) {
+	cases := map[BenchmarkName]BenchmarkName{
+		BenchKeyValueGet:   BenchKeyValueSet,
+		BenchSendPayment:   BenchCreateAccount,
+		BenchBalance:       BenchCreateAccount,
+		BenchDoNothing:     "",
+		BenchKeyValueSet:   "",
+		BenchCreateAccount: "",
+	}
+	for b, want := range cases {
+		if got := ReadBenchmarkDependsOnWrite(b); got != want {
+			t.Errorf("dep(%s) = %q, want %q", b, got, want)
+		}
+	}
+}
+
+func TestBenchmarkUnitsCoverAllBenchmarks(t *testing.T) {
+	covered := make(map[BenchmarkName]bool)
+	for _, unit := range BenchmarkUnits {
+		for _, b := range unit {
+			covered[b] = true
+		}
+	}
+	for _, b := range AllBenchmarks {
+		if !covered[b] {
+			t.Errorf("benchmark %s not in any unit", b)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package bftcore
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/consensus"
+	"github.com/coconut-bench/coconut/internal/network"
+)
+
+type cluster struct {
+	t         *testing.T
+	transport *network.Transport
+	cores     []*Core
+
+	mu      sync.Mutex
+	decided map[string][]consensus.Decision
+}
+
+func newCluster(t *testing.T, n int, policy ProposerPolicy) *cluster {
+	t.Helper()
+	c := &cluster{
+		t:         t,
+		transport: network.NewTransport(clock.New(), nil),
+		decided:   make(map[string][]consensus.Decision),
+	}
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("validator-%d", i)
+	}
+	for i := 0; i < n; i++ {
+		id := peers[i]
+		core := New(Config{
+			ID:           id,
+			Peers:        peers,
+			Transport:    c.transport,
+			OnDecide:     c.recorder(id),
+			Proposer:     policy,
+			RoundTimeout: 200 * time.Millisecond,
+		})
+		c.cores = append(c.cores, core)
+	}
+	for _, core := range c.cores {
+		if err := core.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, core := range c.cores {
+			core.Stop()
+		}
+		c.transport.Stop()
+	})
+	return c
+}
+
+func (c *cluster) recorder(id string) consensus.DecideFunc {
+	return func(d consensus.Decision) {
+		c.mu.Lock()
+		c.decided[id] = append(c.decided[id], d)
+		c.mu.Unlock()
+	}
+}
+
+func (c *cluster) waitDecisions(id string, want int, timeout time.Duration) []consensus.Decision {
+	c.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		got := len(c.decided[id])
+		c.mu.Unlock()
+		if got >= want {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			out := make([]consensus.Decision, len(c.decided[id]))
+			copy(out, c.decided[id])
+			return out
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	c.mu.Lock()
+	got := len(c.decided[id])
+	c.mu.Unlock()
+	c.t.Fatalf("%s decided %d, want %d", id, got, want)
+	return nil
+}
+
+func (c *cluster) submitToProposer(payload any) {
+	c.t.Helper()
+	for _, core := range c.cores {
+		if core.IsProposer() {
+			if err := core.Submit(payload); err != nil {
+				c.t.Fatal(err)
+			}
+			return
+		}
+	}
+	c.t.Fatal("no proposer found")
+}
+
+func TestRoundRobinPolicy(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	if got := RoundRobinByHeight(peers, 1, 0); got != "b" {
+		t.Fatalf("height 1 round 0 proposer = %s, want b", got)
+	}
+	if got := RoundRobinByHeight(peers, 1, 1); got != "c" {
+		t.Fatalf("round change must shift proposer, got %s", got)
+	}
+	if got := RoundRobinByHeight(peers, 5, 0); got != "b" {
+		t.Fatalf("height 5 proposer = %s, want b (wraps)", got)
+	}
+}
+
+func TestStickyPrimaryPolicy(t *testing.T) {
+	peers := []string{"a", "b", "c", "d"}
+	for h := uint64(0); h < 10; h++ {
+		if got := StickyPrimary(peers, h, 0); got != "a" {
+			t.Fatalf("primary at height %d = %s, want a (sticky)", h, got)
+		}
+	}
+	if got := StickyPrimary(peers, 0, 1); got != "b" {
+		t.Fatalf("primary after view change = %s, want b", got)
+	}
+}
+
+func TestDecidesSingleValue(t *testing.T) {
+	c := newCluster(t, 4, RoundRobinByHeight)
+	c.submitToProposer("block-1")
+	for _, core := range c.cores {
+		ds := c.waitDecisions(core.cfg.ID, 1, 3*time.Second)
+		if ds[0].Payload != "block-1" {
+			t.Fatalf("%s decided %v", core.cfg.ID, ds[0].Payload)
+		}
+		if ds[0].Seq != 1 {
+			t.Fatalf("%s seq = %d", core.cfg.ID, ds[0].Seq)
+		}
+	}
+}
+
+func TestDecidesManyInOrder(t *testing.T) {
+	c := newCluster(t, 4, RoundRobinByHeight)
+	const total = 30
+	go func() {
+		for i := 0; i < total; i++ {
+			// Submit via any node; non-proposers forward.
+			_ = c.cores[i%4].Submit(fmt.Sprintf("block-%d", i))
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	var reference []consensus.Decision
+	for i, core := range c.cores {
+		ds := c.waitDecisions(core.cfg.ID, total, 10*time.Second)[:total]
+		for j, d := range ds {
+			if d.Seq != uint64(j+1) {
+				t.Fatalf("%s slot %d seq %d (gap)", core.cfg.ID, j, d.Seq)
+			}
+		}
+		if i == 0 {
+			reference = ds
+			continue
+		}
+		for j := range ds {
+			if ds[j].Payload != reference[j].Payload {
+				t.Fatalf("agreement violation at slot %d: %v vs %v",
+					j, ds[j].Payload, reference[j].Payload)
+			}
+		}
+	}
+}
+
+func TestStickyPrimaryDecides(t *testing.T) {
+	c := newCluster(t, 4, StickyPrimary)
+	for i := 0; i < 5; i++ {
+		c.submitToProposer(i)
+	}
+	for _, core := range c.cores {
+		ds := c.waitDecisions(core.cfg.ID, 5, 5*time.Second)
+		for j := 0; j < 5; j++ {
+			if ds[j].Payload != j {
+				t.Fatalf("%s slot %d = %v", core.cfg.ID, j, ds[j].Payload)
+			}
+		}
+	}
+}
+
+func TestRoundChangeOnStalledProposer(t *testing.T) {
+	c := newCluster(t, 4, RoundRobinByHeight)
+	// Height 1, round 0 proposer is validator-1. Isolate it, then submit to
+	// another node, which forwards to the dead proposer; the round change
+	// must elect validator-2 and still decide.
+	c.transport.Isolate("validator-1")
+
+	var submitter *Core
+	for _, core := range c.cores {
+		if core.cfg.ID == "validator-0" {
+			submitter = core
+		}
+	}
+	_ = submitter.Submit("survivor") // forward to dead proposer fails silently
+	// Submit directly into the others' pending queues so the new proposer
+	// has the payload after the round change.
+	for _, core := range c.cores {
+		if core.cfg.ID != "validator-1" {
+			_ = core.Submit("survivor")
+		}
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		n := len(c.decided["validator-0"])
+		c.mu.Unlock()
+		if n >= 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("cluster did not decide after proposer failure (round change broken)")
+}
+
+func TestSubmitNotRunning(t *testing.T) {
+	tr := network.NewTransport(clock.New(), nil)
+	defer tr.Stop()
+	core := New(Config{ID: "x", Peers: []string{"x"}, Transport: tr})
+	if err := core.Submit("v"); err != consensus.ErrNotRunning {
+		t.Fatalf("err = %v, want ErrNotRunning", err)
+	}
+}
+
+func TestMaxPendingBackpressure(t *testing.T) {
+	tr := network.NewTransport(clock.New(), nil)
+	defer tr.Stop()
+	core := New(Config{
+		ID:         "solo",
+		Peers:      []string{"solo", "ghost-a", "ghost-b", "ghost-c"},
+		Transport:  tr,
+		MaxPending: 2,
+		// solo proposes height 4k? RoundRobin: height 1 proposer = peers[1]
+		// = ghost-a, so solo forwards... use sticky so solo is primary at
+		// round 0? StickyPrimary picks peers[0] = solo. Good.
+		Proposer: StickyPrimary,
+	})
+	if err := core.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer core.Stop()
+	// Ghosts never vote, so proposals stall and pending accumulates. The
+	// first submit is consumed into the in-flight proposal slot.
+	errs := 0
+	for i := 0; i < 10; i++ {
+		if err := core.Submit(i); err == consensus.ErrOverloaded {
+			errs++
+		}
+	}
+	if errs == 0 {
+		t.Fatal("bounded pending queue never pushed back")
+	}
+}
+
+func TestQuorumRequiresEnoughValidators(t *testing.T) {
+	// 4 validators, 2 isolated: remaining 2 < quorum(3) must not decide.
+	c := newCluster(t, 4, StickyPrimary)
+	c.transport.Isolate("validator-2")
+	c.transport.Isolate("validator-3")
+	_ = c.cores[0].Submit("unsafe")
+	time.Sleep(300 * time.Millisecond)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.decided["validator-0"]) != 0 {
+		t.Fatal("decided without quorum (safety violation)")
+	}
+}
+
+func TestHeightAdvances(t *testing.T) {
+	c := newCluster(t, 4, RoundRobinByHeight)
+	c.submitToProposer("a")
+	c.waitDecisions("validator-0", 1, 3*time.Second)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if c.cores[0].Height() == 2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("height = %d, want 2", c.cores[0].Height())
+}

@@ -1,0 +1,55 @@
+package consensus
+
+import "testing"
+
+func TestQuorumSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1},
+		{3, 2},
+		{4, 3},
+		{7, 5},
+		{10, 7},
+		{13, 9},
+		{16, 11},
+		{32, 22},
+	}
+	for _, c := range cases {
+		if got := QuorumSize(c.n); got != c.want {
+			t.Errorf("QuorumSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestQuorumIntersection(t *testing.T) {
+	// Safety requirement: two quorums must intersect in at least f+1 nodes,
+	// guaranteeing a correct node in the intersection.
+	for n := 1; n <= 64; n++ {
+		q := QuorumSize(n)
+		f := FaultTolerance(n)
+		if 2*q-n < f+1 {
+			t.Errorf("n=%d: quorums of %d intersect in %d < f+1=%d", n, q, 2*q-n, f+1)
+		}
+	}
+}
+
+func TestMajoritySize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 2}, {3, 2}, {4, 3}, {5, 3}, {7, 4},
+	}
+	for _, c := range cases {
+		if got := MajoritySize(c.n); got != c.want {
+			t.Errorf("MajoritySize(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFaultTolerance(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 0}, {3, 0}, {4, 1}, {7, 2}, {10, 3}, {32, 10},
+	}
+	for _, c := range cases {
+		if got := FaultTolerance(c.n); got != c.want {
+			t.Errorf("FaultTolerance(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Package crypto provides the cryptographic primitives the simulated
+// blockchain systems share: SHA-256 hash chaining for blocks and
+// transactions, and ed25519 identities for node and client signatures.
+//
+// Identities are generated deterministically from a seed string so that test
+// clusters are reproducible across runs.
+package crypto
+
+import (
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+)
+
+// Hash is a 32-byte SHA-256 digest.
+type Hash [32]byte
+
+// ZeroHash is the all-zero digest used as the predecessor of genesis blocks.
+var ZeroHash Hash
+
+// Sum hashes the concatenation of the given byte slices.
+func Sum(parts ...[]byte) Hash {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// SumString hashes a single string.
+func SumString(s string) Hash { return Sum([]byte(s)) }
+
+// String returns the hex encoding of the hash.
+func (h Hash) String() string { return hex.EncodeToString(h[:]) }
+
+// Short returns the first 8 hex characters, for logs.
+func (h Hash) Short() string { return hex.EncodeToString(h[:4]) }
+
+// IsZero reports whether the hash is all zeroes.
+func (h Hash) IsZero() bool { return h == ZeroHash }
+
+// Bytes returns the digest as a slice.
+func (h Hash) Bytes() []byte { return h[:] }
+
+// Combine hashes two hashes together, used for Merkle-style accumulation.
+func Combine(a, b Hash) Hash { return Sum(a[:], b[:]) }
+
+// MerkleRoot computes a binary Merkle root over the given leaf hashes.
+// An empty leaf set yields ZeroHash; odd levels duplicate the last node,
+// matching the convention used by most chain implementations.
+func MerkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return ZeroHash
+	}
+	level := make([]Hash, len(leaves))
+	copy(level, leaves)
+	for len(level) > 1 {
+		if len(level)%2 == 1 {
+			level = append(level, level[len(level)-1])
+		}
+		next := make([]Hash, 0, len(level)/2)
+		for i := 0; i < len(level); i += 2 {
+			next = append(next, Combine(level[i], level[i+1]))
+		}
+		level = next
+	}
+	return level[0]
+}
+
+// Identity is a signing identity for a node or client.
+type Identity struct {
+	Name string
+	pub  ed25519.PublicKey
+	priv ed25519.PrivateKey
+}
+
+// NewIdentity derives a deterministic identity from a name. The seed is the
+// SHA-256 of the name, so the same name always yields the same key pair.
+func NewIdentity(name string) *Identity {
+	seed := sha256.Sum256([]byte("coconut-identity:" + name))
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Identity{
+		Name: name,
+		pub:  priv.Public().(ed25519.PublicKey),
+		priv: priv,
+	}
+}
+
+// Public returns the public key.
+func (id *Identity) Public() ed25519.PublicKey { return id.pub }
+
+// Sign signs the message with the identity's private key.
+func (id *Identity) Sign(msg []byte) []byte { return ed25519.Sign(id.priv, msg) }
+
+// Verify checks a signature produced by Sign against this identity's key.
+func (id *Identity) Verify(msg, sig []byte) bool { return ed25519.Verify(id.pub, msg, sig) }
+
+// VerifyWith checks a signature against an arbitrary public key.
+func VerifyWith(pub ed25519.PublicKey, msg, sig []byte) bool {
+	return ed25519.Verify(pub, msg, sig)
+}
+
+// Signature couples a signer name with signature bytes, as carried inside
+// transactions and consensus votes.
+type Signature struct {
+	Signer string
+	Bytes  []byte
+}
+
+// MultiSign collects signatures from several identities over one message.
+func MultiSign(msg []byte, ids ...*Identity) []Signature {
+	sigs := make([]Signature, 0, len(ids))
+	for _, id := range ids {
+		sigs = append(sigs, Signature{Signer: id.Name, Bytes: id.Sign(msg)})
+	}
+	return sigs
+}
+
+// Uint64Bytes encodes a uint64 big-endian, a helper for hashing integers.
+func Uint64Bytes(v uint64) []byte {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], v)
+	return b[:]
+}
+
+// TxID derives a transaction identifier from a client name, a sequence
+// number, and an arbitrary payload digest.
+func TxID(client string, seq uint64, payload []byte) Hash {
+	return Sum([]byte(client), Uint64Bytes(seq), payload)
+}
+
+// FormatID renders a hash as "name-xxxxxxxx" for readable tracing.
+func FormatID(prefix string, h Hash) string {
+	return fmt.Sprintf("%s-%s", prefix, h.Short())
+}

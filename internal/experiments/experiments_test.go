@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/network"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// fastOptions shrinks the run further for CI-speed tests: paper 300s send
+// becomes 0.6s of wall time at Scale = 1/500.
+func fastOptions() Options {
+	return Options{
+		Scale:        0.002,
+		SendSeconds:  300,
+		GraceSeconds: 60,
+		Repetitions:  1,
+		Seed:         1,
+	}
+}
+
+func TestFigure3TableCoversGrid(t *testing.T) {
+	if len(Figure3) != 7*6 {
+		t.Fatalf("Figure3 has %d cells, want 42", len(Figure3))
+	}
+	seen := make(map[string]bool)
+	for _, c := range Figure3 {
+		key := c.System + "/" + string(c.Benchmark)
+		if seen[key] {
+			t.Fatalf("duplicate cell %s", key)
+		}
+		seen[key] = true
+	}
+	for _, s := range AllSystems {
+		for _, b := range coconut.AllBenchmarks {
+			if _, ok := BestCell(s, b); !ok {
+				t.Fatalf("missing cell %s/%s", s, b)
+			}
+		}
+	}
+}
+
+func TestFigure4ReferenceCoversGrid(t *testing.T) {
+	for _, s := range AllSystems {
+		row, ok := Figure4MTPS[s]
+		if !ok {
+			t.Fatalf("Figure4 missing system %s", s)
+		}
+		for _, b := range coconut.AllBenchmarks {
+			if _, ok := row[b]; !ok {
+				t.Fatalf("Figure4 missing %s/%s", s, b)
+			}
+		}
+	}
+}
+
+func TestRunCellFabricDoNothing(t *testing.T) {
+	res, err := RunCell(systems.NameFabric, coconut.BenchDoNothing,
+		Params{RL: 1600, MM: 1000}, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTPS.Mean < 400 {
+		t.Fatalf("Fabric DoNothing MTPS = %.1f, want high throughput (paper 1461)", res.MTPS.Mean)
+	}
+}
+
+func TestRunCellUnknownSystem(t *testing.T) {
+	if _, err := RunCell("NotAChain", coconut.BenchDoNothing, Params{RL: 100}, fastOptions()); err == nil {
+		t.Fatal("unknown system must error")
+	}
+}
+
+func TestRunCellCordaOSReadsFail(t *testing.T) {
+	// The paper's sharpest Corda OS finding: KeyValue-Get receives nothing.
+	res, err := RunCell(systems.NameCordaOS, coconut.BenchKeyValueGet,
+		Params{RL: 20}, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MTPS.Mean > 1.0 {
+		t.Fatalf("Corda OS KeyValue-Get MTPS = %.2f, paper reports total failure", res.MTPS.Mean)
+	}
+}
+
+func TestSystemOrderingMatchesPaper(t *testing.T) {
+	// DoNothing throughput ordering (Fig. 3 columns): BitShares and Fabric
+	// in the hundreds-to-thousands, Quorum below Fabric, Sawtooth and Diem
+	// double digits, Corda OS single digits.
+	measure := func(system string, opts Options) float64 {
+		cell, _ := BestCell(system, coconut.BenchDoNothing)
+		res, err := RunCell(system, coconut.BenchDoNothing, cell.Params, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", system, err)
+		}
+		t.Logf("%s DoNothing MTPS = %.2f (paper %.2f)", system, res.MTPS.Mean, cell.MTPS)
+		return res.MTPS.Mean
+	}
+	fabricTPS := measure(systems.NameFabric, fastOptions())
+	quorumTPS := measure(systems.NameQuorum, fastOptions())
+	// Sawtooth's drain is real-time-limited (~1s per 100-tx batch), so its
+	// window must cover several batch validations.
+	sawtoothTPS := measure(systems.NameSawtooth, Options{Scale: 0.01, Repetitions: 1, Seed: 1})
+	cordaOSTPS := measure(systems.NameCordaOS, fastOptions())
+
+	if fabricTPS <= quorumTPS {
+		t.Errorf("Fabric (%.1f) must beat Quorum (%.1f)", fabricTPS, quorumTPS)
+	}
+	if quorumTPS <= sawtoothTPS {
+		t.Errorf("Quorum (%.1f) must beat Sawtooth (%.1f)", quorumTPS, sawtoothTPS)
+	}
+	if sawtoothTPS <= cordaOSTPS {
+		t.Errorf("Sawtooth (%.1f) must beat Corda OS (%.1f)", sawtoothTPS, cordaOSTPS)
+	}
+}
+
+func TestPaperSecondsConversion(t *testing.T) {
+	o := Options{Scale: 0.01}
+	if got := o.PaperSeconds(3.0); got != 300 {
+		t.Fatalf("PaperSeconds(3) = %v, want 300", got)
+	}
+}
+
+func TestParamsLabels(t *testing.T) {
+	p := Params{RL: 1600, MM: 100, Actions: 50}
+	labels := p.Labels()
+	if labels["RL"] != "1600" || labels["MM"] != "100" || labels["Actions"] != "50" {
+		t.Fatalf("labels = %v", labels)
+	}
+	if _, ok := labels["BP"]; ok {
+		t.Fatal("zero params must not emit labels")
+	}
+}
+
+func TestScaleCountFloorsAtOne(t *testing.T) {
+	o := Options{Scale: 0.0001}
+	if got := o.scaleCount(100); got != 1 {
+		t.Fatalf("scaleCount = %d, want 1", got)
+	}
+}
+
+func TestRunFigure3SingleSystem(t *testing.T) {
+	outcomes, err := RunFigure3(fastOptions(), systems.NameQuorum, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 6 {
+		t.Fatalf("outcomes = %d, want 6 (one per benchmark)", len(outcomes))
+	}
+	for _, oc := range outcomes {
+		if oc.Cell.System != systems.NameQuorum {
+			t.Fatalf("outcome for %s leaked into restricted run", oc.Cell.System)
+		}
+	}
+}
+
+func TestRunTableQuorum(t *testing.T) {
+	tbl, ok := TableByID("15+16")
+	if !ok {
+		t.Fatal("table 15+16 missing")
+	}
+	outcomes, err := RunTable(tbl, fastOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != len(tbl.Rows) {
+		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(tbl.Rows))
+	}
+	// Row 0 is the liveness-violation cell: zero MTPS in paper and here.
+	if outcomes[0].Measured.MTPS.Mean > 1 {
+		t.Fatalf("livelock row measured %.2f MTPS, want ~0", outcomes[0].Measured.MTPS.Mean)
+	}
+	// Row 1 is the healthy BP=5s cell.
+	if outcomes[1].Measured.MTPS.Mean <= 1 {
+		t.Fatalf("healthy row measured %.2f MTPS, want > 1", outcomes[1].Measured.MTPS.Mean)
+	}
+}
+
+func TestTablesWellFormed(t *testing.T) {
+	if len(Tables) != 7 {
+		t.Fatalf("Tables = %d, want 7 pairs", len(Tables))
+	}
+	seen := map[string]bool{}
+	for _, tbl := range Tables {
+		if seen[tbl.ID] {
+			t.Fatalf("duplicate table id %s", tbl.ID)
+		}
+		seen[tbl.ID] = true
+		if len(tbl.Rows) == 0 {
+			t.Fatalf("table %s has no rows", tbl.ID)
+		}
+		if _, ok := BestCell(tbl.System, tbl.Benchmark); !ok {
+			t.Fatalf("table %s references unknown cell %s/%s", tbl.ID, tbl.System, tbl.Benchmark)
+		}
+	}
+	if _, ok := TableByID("nope"); ok {
+		t.Fatal("TableByID matched a bogus id")
+	}
+}
+
+func TestNetemOptionAppliesLatency(t *testing.T) {
+	o := Options{Scale: 0.01, Netem: true, Seed: 3}
+	o.fill()
+	m := o.latency()
+	stats := network.MeasureLatency(m, 5000)
+	// Scaled mu: 12ms x 0.01 = 120us.
+	if stats.Mean < 100*time.Microsecond || stats.Mean > 140*time.Microsecond {
+		t.Fatalf("netem mean = %v, want ~120us", stats.Mean)
+	}
+	o.Netem = false
+	if d := o.latency().Delay("a", "b"); d != 0 {
+		t.Fatalf("latency without netem = %v, want 0", d)
+	}
+}

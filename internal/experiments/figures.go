@@ -1,0 +1,296 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// PaperCell is one cell of the paper's Figure 3/4 heat maps: the best MTPS
+// configuration and its reported metrics.
+type PaperCell struct {
+	System    string
+	Benchmark coconut.BenchmarkName
+	Params    Params
+	// Reported values from the paper (MTPS, MFLS seconds, Duration
+	// seconds). A zero MTPS marks a failed cell.
+	MTPS float64
+	MFLS float64
+	Dur  float64
+}
+
+// AllSystems lists the seven systems in the paper's column order.
+var AllSystems = []string{
+	systems.NameCordaOS,
+	systems.NameCordaEnt,
+	systems.NameBitShares,
+	systems.NameFabric,
+	systems.NameQuorum,
+	systems.NameSawtooth,
+	systems.NameDiem,
+}
+
+// Figure3 is the paper's Figure 3: best MTPS per (system, benchmark) with
+// the winning configuration. Values transcribed from the figure.
+var Figure3 = []PaperCell{
+	// Corda OS (RL is the total across the four clients).
+	{systems.NameCordaOS, coconut.BenchDoNothing, Params{RL: 20}, 7.18, 112.64, 348.00},
+	{systems.NameCordaOS, coconut.BenchKeyValueSet, Params{RL: 40}, 4.65, 214.60, 361.33},
+	{systems.NameCordaOS, coconut.BenchKeyValueGet, Params{RL: 20}, 0.00, 0, 0},
+	{systems.NameCordaOS, coconut.BenchCreateAccount, Params{RL: 20}, 6.87, 117.42, 352.67},
+	{systems.NameCordaOS, coconut.BenchSendPayment, Params{RL: 20}, 0.00, 0, 0},
+	{systems.NameCordaOS, coconut.BenchBalance, Params{RL: 80}, 0.27, 132.41, 404.33},
+
+	// Corda Enterprise.
+	{systems.NameCordaEnt, coconut.BenchDoNothing, Params{RL: 80}, 64.64, 3.83, 303.00},
+	{systems.NameCordaEnt, coconut.BenchKeyValueSet, Params{RL: 160}, 13.51, 31.59, 338.33},
+	{systems.NameCordaEnt, coconut.BenchKeyValueGet, Params{RL: 20}, 3.52, 111.50, 354.00},
+	{systems.NameCordaEnt, coconut.BenchCreateAccount, Params{RL: 80}, 61.95, 4.37, 303.33},
+	{systems.NameCordaEnt, coconut.BenchSendPayment, Params{RL: 20}, 0.13, 306.35, 350.00},
+	{systems.NameCordaEnt, coconut.BenchBalance, Params{RL: 20}, 1.12, 131.00, 375.33},
+
+	// BitShares (Actions = operations per transaction).
+	{systems.NameBitShares, coconut.BenchDoNothing, Params{RL: 1600, BI: 1, Actions: 100}, 1599.89, 1.09, 305.00},
+	{systems.NameBitShares, coconut.BenchKeyValueSet, Params{RL: 1600, BI: 5, Actions: 50}, 1582.79, 5.94, 306.00},
+	{systems.NameBitShares, coconut.BenchKeyValueGet, Params{RL: 1600, BI: 5, Actions: 50}, 1581.38, 5.45, 306.00},
+	{systems.NameBitShares, coconut.BenchCreateAccount, Params{RL: 1600, BI: 2, Actions: 50}, 1588.95, 3.00, 304.67},
+	{systems.NameBitShares, coconut.BenchSendPayment, Params{RL: 1600, BI: 2, Actions: 100}, 125.99, 15.63, 79.67},
+	{systems.NameBitShares, coconut.BenchBalance, Params{RL: 1600, BI: 2, Actions: 100}, 164.07, 11.16, 59.67},
+
+	// Fabric.
+	{systems.NameFabric, coconut.BenchDoNothing, Params{RL: 1600, MM: 1000}, 1461.05, 13.92, 318.67},
+	{systems.NameFabric, coconut.BenchKeyValueSet, Params{RL: 1600, MM: 100}, 1337.86, 2.71, 311.00},
+	{systems.NameFabric, coconut.BenchKeyValueGet, Params{RL: 1600, MM: 100}, 1416.94, 1.49, 310.00},
+	{systems.NameFabric, coconut.BenchCreateAccount, Params{RL: 1600, MM: 1000}, 1367.06, 23.62, 326.67},
+	{systems.NameFabric, coconut.BenchSendPayment, Params{RL: 1600, MM: 100}, 1285.29, 6.66, 318.00},
+	{systems.NameFabric, coconut.BenchBalance, Params{RL: 1600, MM: 1000}, 1305.32, 20.78, 321.33},
+
+	// Quorum.
+	{systems.NameQuorum, coconut.BenchDoNothing, Params{RL: 800, BP: 1}, 773.60, 10.32, 311.33},
+	{systems.NameQuorum, coconut.BenchKeyValueSet, Params{RL: 400, BP: 1}, 340.55, 9.79, 79.67},
+	{systems.NameQuorum, coconut.BenchKeyValueGet, Params{RL: 400, BP: 5}, 362.96, 13.81, 182.33},
+	{systems.NameQuorum, coconut.BenchCreateAccount, Params{RL: 400, BP: 1}, 345.13, 9.74, 101.67},
+	{systems.NameQuorum, coconut.BenchSendPayment, Params{RL: 1600, BP: 5}, 235.13, 16.10, 302.00},
+	{systems.NameQuorum, coconut.BenchBalance, Params{RL: 400, BP: 5}, 365.85, 12.34, 190.00},
+
+	// Sawtooth (Actions = transactions per batch).
+	{systems.NameSawtooth, coconut.BenchDoNothing, Params{RL: 200, PD: 2, Actions: 100}, 103.47, 22.17, 96.67},
+	{systems.NameSawtooth, coconut.BenchKeyValueSet, Params{RL: 200, PD: 10, Actions: 100}, 90.28, 19.68, 349.67},
+	{systems.NameSawtooth, coconut.BenchKeyValueGet, Params{RL: 200, PD: 1, Actions: 100}, 92.91, 10.75, 47.00},
+	{systems.NameSawtooth, coconut.BenchCreateAccount, Params{RL: 200, PD: 10, Actions: 100}, 67.57, 25.84, 344.33},
+	{systems.NameSawtooth, coconut.BenchSendPayment, Params{RL: 200, PD: 5, Actions: 100}, 16.32, 25.39, 353.33},
+	{systems.NameSawtooth, coconut.BenchBalance, Params{RL: 400, PD: 10, Actions: 100}, 73.25, 15.13, 37.33},
+
+	// Diem.
+	{systems.NameDiem, coconut.BenchDoNothing, Params{RL: 200, BS: 1000}, 96.40, 93.10, 324.67},
+	{systems.NameDiem, coconut.BenchKeyValueSet, Params{RL: 200, BS: 1000}, 68.80, 111.26, 324.67},
+	{systems.NameDiem, coconut.BenchKeyValueGet, Params{RL: 200, BS: 2000}, 64.22, 107.78, 261.33},
+	{systems.NameDiem, coconut.BenchCreateAccount, Params{RL: 200, BS: 2000}, 77.02, 130.43, 401.33},
+	{systems.NameDiem, coconut.BenchSendPayment, Params{RL: 200, BS: 2000}, 56.57, 139.21, 412.33},
+	{systems.NameDiem, coconut.BenchBalance, Params{RL: 200, BS: 2000}, 50.14, 144.93, 384.67},
+}
+
+// Figure4 carries the paper's Figure 4 MTPS values: the Figure 3 best
+// configurations re-run under emulated latency (mu 12ms, sigma 2ms).
+var Figure4MTPS = map[string]map[coconut.BenchmarkName]float64{
+	systems.NameCordaOS: {
+		coconut.BenchDoNothing: 7.22, coconut.BenchKeyValueSet: 4.34,
+		coconut.BenchKeyValueGet: 0, coconut.BenchCreateAccount: 6.89,
+		coconut.BenchSendPayment: 0, coconut.BenchBalance: 0.28,
+	},
+	systems.NameCordaEnt: {
+		coconut.BenchDoNothing: 64.76, coconut.BenchKeyValueSet: 13.49,
+		coconut.BenchKeyValueGet: 3.09, coconut.BenchCreateAccount: 61.92,
+		coconut.BenchSendPayment: 0, coconut.BenchBalance: 0,
+	},
+	systems.NameBitShares: {
+		coconut.BenchDoNothing: 1589.30, coconut.BenchKeyValueSet: 654.12,
+		coconut.BenchKeyValueGet: 579.45, coconut.BenchCreateAccount: 1046.87,
+		coconut.BenchSendPayment: 6.62, coconut.BenchBalance: 9.96,
+	},
+	systems.NameFabric: {
+		coconut.BenchDoNothing: 898.78, coconut.BenchKeyValueSet: 866.64,
+		coconut.BenchKeyValueGet: 885.24, coconut.BenchCreateAccount: 872.52,
+		coconut.BenchSendPayment: 866.30, coconut.BenchBalance: 883.65,
+	},
+	systems.NameQuorum: {
+		coconut.BenchDoNothing: 605.04, coconut.BenchKeyValueSet: 243.13,
+		coconut.BenchKeyValueGet: 338.46, coconut.BenchCreateAccount: 258.05,
+		coconut.BenchSendPayment: 320.10, coconut.BenchBalance: 362.50,
+	},
+	systems.NameSawtooth: {
+		coconut.BenchDoNothing: 102.74, coconut.BenchKeyValueSet: 88.55,
+		coconut.BenchKeyValueGet: 76.86, coconut.BenchCreateAccount: 64.83,
+		coconut.BenchSendPayment: 15.02, coconut.BenchBalance: 30.24,
+	},
+	systems.NameDiem: {
+		coconut.BenchDoNothing: 94.12, coconut.BenchKeyValueSet: 70.50,
+		coconut.BenchKeyValueGet: 67.99, coconut.BenchCreateAccount: 74.27,
+		coconut.BenchSendPayment: 56.82, coconut.BenchBalance: 46.16,
+	},
+}
+
+// Figure5Failed records which (system, node-count) DoNothing cells the
+// paper reports as failed in the scalability experiment (§5.8.2).
+var Figure5Failed = map[string][]int{
+	systems.NameCordaOS:  {32},
+	systems.NameFabric:   {16, 32},
+	systems.NameSawtooth: {16, 32},
+}
+
+// Figure5Nodes lists the swept network sizes.
+var Figure5Nodes = []int{4, 8, 16, 32}
+
+// BestCell returns the Figure 3 cell for a system/benchmark pair.
+func BestCell(system string, bench coconut.BenchmarkName) (PaperCell, bool) {
+	for _, c := range Figure3 {
+		if c.System == system && c.Benchmark == bench {
+			return c, true
+		}
+	}
+	return PaperCell{}, false
+}
+
+// CellOutcome pairs a paper cell with the measured reproduction.
+type CellOutcome struct {
+	Cell     PaperCell
+	Measured coconut.Result
+	// MeasuredMTPS is the measured mean (0 for failed cells).
+	MeasuredMTPS float64
+	// PaperMTPS echoes the reference value.
+	PaperMTPS float64
+}
+
+// RunFigure3 reproduces the full heat map, optionally restricted to one
+// system ("" = all). Progress rows stream to w when non-nil.
+func RunFigure3(o Options, onlySystem string, w io.Writer) ([]CellOutcome, error) {
+	o.fill()
+	var out []CellOutcome
+	for _, cell := range Figure3 {
+		if onlySystem != "" && cell.System != onlySystem {
+			continue
+		}
+		res, err := RunCell(cell.System, cell.Benchmark, cell.Params, o)
+		if err != nil {
+			return nil, fmt.Errorf("cell %s/%s: %w", cell.System, cell.Benchmark, err)
+		}
+		oc := CellOutcome{
+			Cell:         cell,
+			Measured:     res,
+			MeasuredMTPS: res.MTPS.Mean,
+			PaperMTPS:    cell.MTPS,
+		}
+		out = append(out, oc)
+		if w != nil {
+			fmt.Fprintf(w, "%-18s %-26s paper=%8.2f measured=%8.2f MTPS  (MFLS %.1fs paper-time)\n",
+				cell.System, cell.Benchmark, cell.MTPS, res.MTPS.Mean, o.PaperSeconds(res.MFLS.Mean))
+		}
+	}
+	return out, nil
+}
+
+// RunFigure4 reproduces the latency-impact heat map: the same best
+// configurations under scaled netem latency.
+func RunFigure4(o Options, onlySystem string, w io.Writer) ([]CellOutcome, error) {
+	o.Netem = true
+	o.fill()
+	var out []CellOutcome
+	for _, cell := range Figure3 {
+		if onlySystem != "" && cell.System != onlySystem {
+			continue
+		}
+		res, err := RunCell(cell.System, cell.Benchmark, cell.Params, o)
+		if err != nil {
+			return nil, fmt.Errorf("cell %s/%s: %w", cell.System, cell.Benchmark, err)
+		}
+		paperMTPS := Figure4MTPS[cell.System][cell.Benchmark]
+		out = append(out, CellOutcome{
+			Cell:         cell,
+			Measured:     res,
+			MeasuredMTPS: res.MTPS.Mean,
+			PaperMTPS:    paperMTPS,
+		})
+		if w != nil {
+			fmt.Fprintf(w, "%-18s %-26s paper=%8.2f measured=%8.2f MTPS (netem)\n",
+				cell.System, cell.Benchmark, paperMTPS, res.MTPS.Mean)
+		}
+	}
+	return out, nil
+}
+
+// ScalePoint is one (system, nodes) measurement of the scalability sweep.
+type ScalePoint struct {
+	System      string
+	Nodes       int
+	MTPS        float64
+	PaperFailed bool
+}
+
+// RunFigure5 reproduces the scalability analysis: the DoNothing benchmark
+// at 4, 8, 16, and 32 nodes per system (§5.8.2). The paper uses "the same
+// settings as in Section 5.8.1", i.e. the emulated latency stays on.
+func RunFigure5(o Options, onlySystem string, w io.Writer) ([]ScalePoint, error) {
+	o.Netem = true
+	o.fill()
+	var out []ScalePoint
+	for _, system := range AllSystems {
+		if onlySystem != "" && system != onlySystem {
+			continue
+		}
+		cell, ok := BestCell(system, coconut.BenchDoNothing)
+		if !ok {
+			continue
+		}
+		for _, nodes := range Figure5Nodes {
+			opts := o
+			opts.Nodes = nodes
+			res, err := RunCell(system, coconut.BenchDoNothing, cell.Params, opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s at %d nodes: %w", system, nodes, err)
+			}
+			failed := false
+			for _, n := range Figure5Failed[system] {
+				if n == nodes {
+					failed = true
+				}
+			}
+			out = append(out, ScalePoint{
+				System:      system,
+				Nodes:       nodes,
+				MTPS:        res.MTPS.Mean,
+				PaperFailed: failed,
+			})
+			if w != nil {
+				status := ""
+				if failed {
+					status = " (paper: failed)"
+				}
+				fmt.Fprintf(w, "%-18s nodes=%-3d measured=%8.2f MTPS%s\n", system, nodes, res.MTPS.Mean, status)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SortOutcomes orders outcomes by system column then benchmark row, in
+// paper order, for stable reports.
+func SortOutcomes(out []CellOutcome) {
+	sysIdx := make(map[string]int, len(AllSystems))
+	for i, s := range AllSystems {
+		sysIdx[s] = i
+	}
+	benchIdx := make(map[coconut.BenchmarkName]int, len(coconut.AllBenchmarks))
+	for i, b := range coconut.AllBenchmarks {
+		benchIdx[b] = i
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := sysIdx[out[i].Cell.System], sysIdx[out[j].Cell.System]
+		if si != sj {
+			return si < sj
+		}
+		return benchIdx[out[i].Cell.Benchmark] < benchIdx[out[j].Cell.Benchmark]
+	})
+}

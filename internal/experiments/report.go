@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteFigureReport renders cell outcomes as a markdown table with paper
+// and measured MTPS side by side plus the ratio, the format EXPERIMENTS.md
+// uses.
+func WriteFigureReport(w io.Writer, title string, outcomes []CellOutcome) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| System | Benchmark | Paper MTPS | Measured MTPS | Ratio | Received/Expected |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---:|---:|---:|---:|"); err != nil {
+		return err
+	}
+	for _, oc := range outcomes {
+		ratio := "—"
+		switch {
+		case oc.PaperMTPS == 0 && oc.MeasuredMTPS < 1:
+			ratio = "both fail"
+		case oc.PaperMTPS > 0:
+			ratio = fmt.Sprintf("%.2fx", oc.MeasuredMTPS/oc.PaperMTPS)
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %.2f | %.2f | %s | %.0f/%.0f |\n",
+			oc.Cell.System, oc.Cell.Benchmark, oc.PaperMTPS, oc.MeasuredMTPS, ratio,
+			oc.Measured.Received.Mean, oc.Measured.Expected.Mean); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteScaleReport renders Figure 5 points as a markdown matrix: one row
+// per system, one column per node count.
+func WriteScaleReport(w io.Writer, title string, points []ScalePoint) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	header := "| System |"
+	sep := "|---|"
+	for _, n := range Figure5Nodes {
+		header += fmt.Sprintf(" %d nodes |", n)
+		sep += "---:|"
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep); err != nil {
+		return err
+	}
+
+	bySystem := make(map[string]map[int]ScalePoint)
+	var order []string
+	for _, p := range points {
+		if _, ok := bySystem[p.System]; !ok {
+			bySystem[p.System] = make(map[int]ScalePoint)
+			order = append(order, p.System)
+		}
+		bySystem[p.System][p.Nodes] = p
+	}
+	for _, system := range order {
+		row := fmt.Sprintf("| %s |", system)
+		for _, n := range Figure5Nodes {
+			p, ok := bySystem[system][n]
+			switch {
+			case !ok:
+				row += " — |"
+			case p.MTPS < 0.01 && p.PaperFailed:
+				row += " failed ✓ |"
+			case p.MTPS < 0.01:
+				row += " failed |"
+			case p.PaperFailed:
+				row += fmt.Sprintf(" %.1f (paper failed) |", p.MTPS)
+			default:
+				row += fmt.Sprintf(" %.1f |", p.MTPS)
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteTableReport renders a paper table reproduction as markdown.
+func WriteTableReport(w io.Writer, tbl Table, outcomes []RowOutcome) error {
+	if _, err := fmt.Fprintf(w, "### Table %s — %s\n\n", tbl.ID, tbl.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| Params | Paper MTPS | Measured MTPS | Paper NoT | Measured NoT |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---:|---:|---:|---:|"); err != nil {
+		return err
+	}
+	for _, oc := range outcomes {
+		if _, err := fmt.Fprintf(w, "| %v | %.2f | %.2f | %.0f/%.0f | %.0f/%.0f |\n",
+			oc.Row.Params.Labels(), oc.Row.PaperMTPS, oc.Measured.MTPS.Mean,
+			oc.Row.PaperReceived, oc.Row.PaperExpected,
+			oc.Measured.Received.Mean, oc.Measured.Expected.Mean); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// ShapeChecks evaluates the qualitative claims in DESIGN.md §3 against
+// measured Figure 3 outcomes and returns human-readable pass/fail lines.
+// It is both a report feature and the basis of the reproduction's
+// self-verification test.
+func ShapeChecks(outcomes []CellOutcome) []string {
+	mtps := make(map[string]map[string]float64)
+	for _, oc := range outcomes {
+		if mtps[oc.Cell.System] == nil {
+			mtps[oc.Cell.System] = make(map[string]float64)
+		}
+		mtps[oc.Cell.System][string(oc.Cell.Benchmark)] = oc.MeasuredMTPS
+	}
+	get := func(system, bench string) (float64, bool) {
+		row, ok := mtps[system]
+		if !ok {
+			return 0, false
+		}
+		v, ok := row[bench]
+		return v, ok
+	}
+
+	var out []string
+	check := func(name string, ok, applicable bool) {
+		switch {
+		case !applicable:
+			out = append(out, fmt.Sprintf("SKIP %s (cells not measured)", name))
+		case ok:
+			out = append(out, "PASS "+name)
+		default:
+			out = append(out, "FAIL "+name)
+		}
+	}
+
+	// 1. DoNothing column ordering.
+	bits, okB := get("BitShares", "DoNothing")
+	fab, okF := get("Fabric", "DoNothing")
+	quo, okQ := get("Quorum", "DoNothing")
+	saw, okS := get("Sawtooth", "DoNothing")
+	cos, okC := get("Corda OS", "DoNothing")
+	check("BitShares and Fabric lead DoNothing throughput",
+		okB && okF && okQ && bits > quo && fab > quo, okB && okF && okQ)
+	check("Quorum beats Sawtooth", okQ && okS && quo > saw, okQ && okS)
+	check("Sawtooth beats Corda OS", okS && okC && saw > cos, okS && okC)
+
+	// 2. Corda OS reads fail; Enterprise is ~10x Corda OS on writes.
+	cosGet, okCG := get("Corda OS", "KeyValue-Get")
+	check("Corda OS KeyValue-Get fails", okCG && cosGet < 1, okCG)
+	ent, okE := get("Corda Enterprise", "DoNothing")
+	check("Corda Enterprise ~10x Corda OS", okE && okC && cos > 0 && ent/cos > 4, okE && okC)
+
+	// 3. BitShares SendPayment collapses relative to its own DoNothing.
+	bsPay, okBP := get("BitShares", "BankingApp-SendPayment")
+	check("BitShares SendPayment collapses",
+		okB && okBP && bits > 0 && bsPay/bits < 0.35, okB && okBP)
+
+	// 4. Diem stays double-digit, far below Fabric.
+	diem, okD := get("Diem", "DoNothing")
+	check("Diem an order of magnitude below Fabric",
+		okD && okF && diem > 0 && fab/diem > 5, okD && okF)
+
+	return out
+}
+
+// ShapesHold reports whether every applicable shape check passed.
+func ShapesHold(outcomes []CellOutcome) bool {
+	for _, line := range ShapeChecks(outcomes) {
+		if len(line) >= 4 && line[:4] == "FAIL" {
+			return false
+		}
+	}
+	return true
+}
+
+// RelativeError returns |measured-paper|/paper, or +Inf when paper is 0
+// but measured is not (and 0 when both are ~0).
+func RelativeError(paper, measured float64) float64 {
+	if paper == 0 {
+		if measured < 1 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(measured-paper) / paper
+}

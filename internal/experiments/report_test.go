@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+)
+
+func fakeOutcome(system string, bench coconut.BenchmarkName, paper, measured float64) CellOutcome {
+	return CellOutcome{
+		Cell:         PaperCell{System: system, Benchmark: bench, MTPS: paper},
+		MeasuredMTPS: measured,
+		PaperMTPS:    paper,
+	}
+}
+
+// fullGrid fabricates a measured grid that matches the paper's shapes.
+func fullGrid() []CellOutcome {
+	var out []CellOutcome
+	for _, cell := range Figure3 {
+		// Measured = paper with a +5% wobble; zeros stay zero.
+		out = append(out, fakeOutcome(cell.System, cell.Benchmark, cell.MTPS, cell.MTPS*1.05))
+	}
+	return out
+}
+
+func TestWriteFigureReport(t *testing.T) {
+	var sb strings.Builder
+	outcomes := []CellOutcome{
+		fakeOutcome("Fabric", coconut.BenchDoNothing, 1461.05, 1550.0),
+		fakeOutcome("Corda OS", coconut.BenchKeyValueGet, 0, 0),
+	}
+	if err := WriteFigureReport(&sb, "Figure 3", outcomes); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "### Figure 3") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(got, "1461.05") || !strings.Contains(got, "1550.00") {
+		t.Fatalf("missing values:\n%s", got)
+	}
+	if !strings.Contains(got, "both fail") {
+		t.Fatalf("zero-zero cells must render as 'both fail':\n%s", got)
+	}
+	if !strings.Contains(got, "1.06x") {
+		t.Fatalf("missing ratio:\n%s", got)
+	}
+}
+
+func TestWriteScaleReport(t *testing.T) {
+	var sb strings.Builder
+	points := []ScalePoint{
+		{System: "Fabric", Nodes: 4, MTPS: 1500},
+		{System: "Fabric", Nodes: 8, MTPS: 1490},
+		{System: "Fabric", Nodes: 16, MTPS: 0, PaperFailed: true},
+		{System: "Fabric", Nodes: 32, MTPS: 0, PaperFailed: true},
+	}
+	if err := WriteScaleReport(&sb, "Figure 5", points); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "failed ✓") {
+		t.Fatalf("matching failures must render with a check:\n%s", got)
+	}
+	if !strings.Contains(got, "1500.0") {
+		t.Fatalf("missing MTPS:\n%s", got)
+	}
+}
+
+func TestWriteTableReport(t *testing.T) {
+	tbl, _ := TableByID("13+14")
+	var sb strings.Builder
+	outcomes := []RowOutcome{{
+		Row:      tbl.Rows[0],
+		Measured: coconut.Aggregate("Fabric", "BankingApp-SendPayment", nil, []coconut.RepetitionResult{{TPS: 810, ReceivedNoT: 2400, ExpectedNoT: 2400}}),
+	}}
+	if err := WriteTableReport(&sb, tbl, outcomes); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.Contains(got, "Table 13+14") || !strings.Contains(got, "801.36") {
+		t.Fatalf("report missing content:\n%s", got)
+	}
+}
+
+func TestShapeChecksPassOnPaperShapedGrid(t *testing.T) {
+	outcomes := fullGrid()
+	for _, line := range ShapeChecks(outcomes) {
+		if strings.HasPrefix(line, "FAIL") {
+			t.Errorf("paper-shaped grid failed: %s", line)
+		}
+	}
+	if !ShapesHold(outcomes) {
+		t.Fatal("ShapesHold = false on a paper-shaped grid")
+	}
+}
+
+func TestShapeChecksCatchInvertedOrdering(t *testing.T) {
+	outcomes := fullGrid()
+	// Corrupt: make Corda OS outrun Fabric on DoNothing.
+	for i := range outcomes {
+		if outcomes[i].Cell.System == "Corda OS" && outcomes[i].Cell.Benchmark == coconut.BenchDoNothing {
+			outcomes[i].MeasuredMTPS = 5000
+		}
+	}
+	if ShapesHold(outcomes) {
+		t.Fatal("corrupted grid passed shape checks")
+	}
+}
+
+func TestShapeChecksSkipWhenCellsMissing(t *testing.T) {
+	lines := ShapeChecks(nil)
+	for _, l := range lines {
+		if strings.HasPrefix(l, "FAIL") {
+			t.Fatalf("empty grid must skip, not fail: %s", l)
+		}
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(100, 110); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("RelativeError = %v", got)
+	}
+	if got := RelativeError(0, 0.5); got != 0 {
+		t.Fatalf("both-fail case = %v, want 0", got)
+	}
+	if got := RelativeError(0, 50); !math.IsInf(got, 1) {
+		t.Fatalf("paper-zero measured-high = %v, want +Inf", got)
+	}
+}

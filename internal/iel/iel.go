@@ -1,0 +1,257 @@
+// Package iel implements the three interface execution layers (the paper's
+// standardized term for smart-contract constructs, Table 3) that every
+// benchmark invokes:
+//
+//   - DoNothing     — an empty function, isolating consensus cost.
+//   - KeyValue      — Set/Get of a key-value pair, targeting storage.
+//   - BankingApp    — CreateAccount / SendPayment / Balance, provoking
+//     overwriting (serialisability-conflicting) transactions.
+//
+// The layers execute against a StateOps abstraction so the same contract
+// code runs inside every system: Fabric routes it through an MVCC read-write
+// set recorder, the account-model systems through their world state, and
+// Sawtooth through its transaction processor state.
+package iel
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+)
+
+// IEL names as used in transactions.
+const (
+	DoNothingName  = "donothing"
+	KeyValueName   = "keyvalue"
+	BankingAppName = "bankingapp"
+)
+
+// Function names per IEL.
+const (
+	FnDoNothing     = "DoNothing"
+	FnSet           = "Set"
+	FnGet           = "Get"
+	FnCreateAccount = "CreateAccount"
+	FnSendPayment   = "SendPayment"
+	FnBalance       = "Balance"
+)
+
+// StateOps is the world-state interface the execution layers run against.
+type StateOps interface {
+	// Get returns the value stored at key.
+	Get(key string) (string, bool)
+	// Put stores value at key.
+	Put(key, value string)
+}
+
+// Execution errors, matchable with errors.Is.
+var (
+	ErrUnknownIEL        = errors.New("iel: unknown interface execution layer")
+	ErrUnknownFunction   = errors.New("iel: unknown function")
+	ErrBadArgs           = errors.New("iel: bad arguments")
+	ErrKeyNotFound       = errors.New("iel: key not found")
+	ErrAccountExists     = errors.New("iel: account already exists")
+	ErrAccountNotFound   = errors.New("iel: account not found")
+	ErrInsufficientFunds = errors.New("iel: insufficient funds")
+)
+
+// Account keys in the underlying store.
+func checkingKey(id string) string { return "acct/" + id + "/checking" }
+func savingsKey(id string) string  { return "acct/" + id + "/savings" }
+
+// Execute runs one operation against the state. A non-nil error marks the
+// operation (and, per each system's atomicity rules, its enclosing
+// transaction or batch) as failed.
+func Execute(op chain.Operation, st StateOps) error {
+	switch op.IEL {
+	case DoNothingName:
+		return executeDoNothing(op)
+	case KeyValueName:
+		return executeKeyValue(op, st)
+	case BankingAppName:
+		return executeBankingApp(op, st)
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownIEL, op.IEL)
+	}
+}
+
+func executeDoNothing(op chain.Operation) error {
+	if op.Function != FnDoNothing {
+		return fmt.Errorf("%w: %s.%s", ErrUnknownFunction, op.IEL, op.Function)
+	}
+	return nil
+}
+
+func executeKeyValue(op chain.Operation, st StateOps) error {
+	switch op.Function {
+	case FnSet:
+		if len(op.Args) != 2 {
+			return fmt.Errorf("%w: Set wants (key, value), got %d args", ErrBadArgs, len(op.Args))
+		}
+		st.Put(op.Args[0], op.Args[1])
+		return nil
+	case FnGet:
+		if len(op.Args) != 1 {
+			return fmt.Errorf("%w: Get wants (key), got %d args", ErrBadArgs, len(op.Args))
+		}
+		if _, ok := st.Get(op.Args[0]); !ok {
+			return fmt.Errorf("%w: %q", ErrKeyNotFound, op.Args[0])
+		}
+		return nil
+	default:
+		return fmt.Errorf("%w: %s.%s", ErrUnknownFunction, op.IEL, op.Function)
+	}
+}
+
+func executeBankingApp(op chain.Operation, st StateOps) error {
+	switch op.Function {
+	case FnCreateAccount:
+		// CreateAccount(id, checking, savings) creates checking and saving
+		// accounts with defined money (paper Table 3).
+		if len(op.Args) != 3 {
+			return fmt.Errorf("%w: CreateAccount wants (id, checking, savings)", ErrBadArgs)
+		}
+		id := op.Args[0]
+		if _, ok := st.Get(checkingKey(id)); ok {
+			return fmt.Errorf("%w: %q", ErrAccountExists, id)
+		}
+		if _, err := strconv.ParseInt(op.Args[1], 10, 64); err != nil {
+			return fmt.Errorf("%w: checking amount %q", ErrBadArgs, op.Args[1])
+		}
+		if _, err := strconv.ParseInt(op.Args[2], 10, 64); err != nil {
+			return fmt.Errorf("%w: savings amount %q", ErrBadArgs, op.Args[2])
+		}
+		st.Put(checkingKey(id), op.Args[1])
+		st.Put(savingsKey(id), op.Args[2])
+		return nil
+
+	case FnSendPayment:
+		// SendPayment(from, to, amount) moves checking funds from account n
+		// to account n+1, deliberately creating overwriting transactions.
+		if len(op.Args) != 3 {
+			return fmt.Errorf("%w: SendPayment wants (from, to, amount)", ErrBadArgs)
+		}
+		from, to := op.Args[0], op.Args[1]
+		amount, err := strconv.ParseInt(op.Args[2], 10, 64)
+		if err != nil || amount < 0 {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, op.Args[2])
+		}
+		fromBal, ok := st.Get(checkingKey(from))
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrAccountNotFound, from)
+		}
+		toBal, ok := st.Get(checkingKey(to))
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrAccountNotFound, to)
+		}
+		fromAmt, err := strconv.ParseInt(fromBal, 10, 64)
+		if err != nil {
+			return fmt.Errorf("iel: corrupt balance for %q: %v", from, err)
+		}
+		toAmt, err := strconv.ParseInt(toBal, 10, 64)
+		if err != nil {
+			return fmt.Errorf("iel: corrupt balance for %q: %v", to, err)
+		}
+		if fromAmt < amount {
+			return fmt.Errorf("%w: %q has %d, needs %d", ErrInsufficientFunds, from, fromAmt, amount)
+		}
+		st.Put(checkingKey(from), strconv.FormatInt(fromAmt-amount, 10))
+		st.Put(checkingKey(to), strconv.FormatInt(toAmt+amount, 10))
+		return nil
+
+	case FnBalance:
+		// Balance(id) checks an account balance.
+		if len(op.Args) != 1 {
+			return fmt.Errorf("%w: Balance wants (id)", ErrBadArgs)
+		}
+		if _, ok := st.Get(checkingKey(op.Args[0])); !ok {
+			return fmt.Errorf("%w: %q", ErrAccountNotFound, op.Args[0])
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("%w: %s.%s", ErrUnknownFunction, op.IEL, op.Function)
+	}
+}
+
+// ReadOnly reports whether the operation performs no writes; systems use it
+// to distinguish read benchmarks (the paper's KeyValue-Get and
+// BankingApp-Balance) from write benchmarks.
+func ReadOnly(op chain.Operation) bool {
+	switch op.IEL {
+	case KeyValueName:
+		return op.Function == FnGet
+	case BankingAppName:
+		return op.Function == FnBalance
+	default:
+		return false
+	}
+}
+
+// TouchedKeys returns the state keys an operation reads or writes, used by
+// BitShares-style conflict exclusion and by ablation benches. DoNothing
+// touches nothing; unknown shapes return nil.
+func TouchedKeys(op chain.Operation) []string {
+	switch op.IEL {
+	case KeyValueName:
+		if len(op.Args) >= 1 {
+			return []string{op.Args[0]}
+		}
+	case BankingAppName:
+		switch op.Function {
+		case FnCreateAccount:
+			if len(op.Args) >= 1 {
+				return []string{checkingKey(op.Args[0]), savingsKey(op.Args[0])}
+			}
+		case FnSendPayment:
+			if len(op.Args) >= 2 {
+				return []string{checkingKey(op.Args[0]), checkingKey(op.Args[1])}
+			}
+		case FnBalance:
+			if len(op.Args) >= 1 {
+				return []string{checkingKey(op.Args[0])}
+			}
+		}
+	}
+	return nil
+}
+
+// WrittenKeys returns only the state keys an operation writes. BitShares'
+// interacting-operation exclusion uses write sets: two reads never
+// interact, a read never invalidates a block member.
+func WrittenKeys(op chain.Operation) []string {
+	switch op.IEL {
+	case KeyValueName:
+		if op.Function == FnSet && len(op.Args) >= 1 {
+			return []string{op.Args[0]}
+		}
+	case BankingAppName:
+		switch op.Function {
+		case FnCreateAccount:
+			if len(op.Args) >= 1 {
+				return []string{checkingKey(op.Args[0]), savingsKey(op.Args[0])}
+			}
+		case FnSendPayment:
+			if len(op.Args) >= 2 {
+				return []string{checkingKey(op.Args[0]), checkingKey(op.Args[1])}
+			}
+		}
+	}
+	return nil
+}
+
+// KVState adapts a plain map to StateOps for tests and simple systems.
+type KVState map[string]string
+
+var _ StateOps = KVState{}
+
+// Get implements StateOps.
+func (m KVState) Get(key string) (string, bool) {
+	v, ok := m[key]
+	return v, ok
+}
+
+// Put implements StateOps.
+func (m KVState) Put(key, value string) { m[key] = value }

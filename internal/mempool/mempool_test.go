@@ -1,0 +1,199 @@
+package mempool
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedRejectsAtCapacity(t *testing.T) {
+	p := NewBounded[int](2)
+	if err := p.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(3); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+	admitted, rejected := p.Stats()
+	if admitted != 2 || rejected != 1 {
+		t.Fatalf("stats = %d/%d, want 2/1", admitted, rejected)
+	}
+}
+
+func TestBoundedAdmitsAfterDrain(t *testing.T) {
+	p := NewBounded[int](1)
+	if err := p.Add(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(2); !errors.Is(err, ErrQueueFull) {
+		t.Fatal("expected rejection at capacity")
+	}
+	p.Take(1)
+	if err := p.Add(3); err != nil {
+		t.Fatalf("add after drain: %v", err)
+	}
+}
+
+func TestUnboundedNeverRejects(t *testing.T) {
+	p := NewUnbounded[int]()
+	for i := 0; i < 100000; i++ {
+		if err := p.Add(i); err != nil {
+			t.Fatalf("unbounded pool rejected at %d: %v", i, err)
+		}
+	}
+	if p.Len() != 100000 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+}
+
+func TestTakeFIFO(t *testing.T) {
+	p := NewUnbounded[int]()
+	for i := 0; i < 10; i++ {
+		_ = p.Add(i)
+	}
+	first := p.Take(4)
+	if len(first) != 4 {
+		t.Fatalf("len = %d, want 4", len(first))
+	}
+	for i, v := range first {
+		if v != i {
+			t.Fatalf("first[%d] = %d, want %d", i, v, i)
+		}
+	}
+	rest := p.Take(0) // drain
+	if len(rest) != 6 || rest[0] != 4 || rest[5] != 9 {
+		t.Fatalf("rest = %v", rest)
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len after drain = %d", p.Len())
+	}
+}
+
+func TestTakeEmpty(t *testing.T) {
+	p := NewUnbounded[int]()
+	if got := p.Take(5); got != nil {
+		t.Fatalf("Take on empty = %v, want nil", got)
+	}
+}
+
+func TestPeekDoesNotRemove(t *testing.T) {
+	p := NewUnbounded[int]()
+	_ = p.Add(1)
+	_ = p.Add(2)
+	if got := p.Peek(1); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Peek = %v", got)
+	}
+	if p.Len() != 2 {
+		t.Fatalf("Peek removed items: Len = %d", p.Len())
+	}
+}
+
+func TestCloseRejectsAndDrops(t *testing.T) {
+	p := NewUnbounded[int]()
+	_ = p.Add(1)
+	p.Close()
+	if err := p.Add(2); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if p.Len() != 0 {
+		t.Fatal("Close did not drop queued items")
+	}
+}
+
+func TestConcurrentAddTake(t *testing.T) {
+	p := NewBounded[int](128)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	taken := 0
+	added := 0
+
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				if err := p.Add(i); err == nil {
+					mu.Lock()
+					added++
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var consumer sync.WaitGroup
+	consumer.Add(1)
+	go func() {
+		defer consumer.Done()
+		for {
+			n := len(p.Take(16))
+			mu.Lock()
+			taken += n
+			mu.Unlock()
+			select {
+			case <-done:
+				mu.Lock()
+				taken += len(p.Take(0))
+				mu.Unlock()
+				return
+			default:
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	consumer.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if taken != added {
+		t.Fatalf("taken = %d, added = %d (items lost or duplicated)", taken, added)
+	}
+}
+
+// Property: a bounded pool never holds more than its capacity.
+func TestPropertyBoundedNeverExceedsCapacity(t *testing.T) {
+	f := func(adds []uint8, capacity uint8) bool {
+		c := int(capacity%16) + 1
+		p := NewBounded[uint8](c)
+		for _, a := range adds {
+			_ = p.Add(a)
+			if p.Len() > c {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: admitted items all come back out, in order.
+func TestPropertyTakeReturnsAdmittedInOrder(t *testing.T) {
+	f := func(items []int) bool {
+		p := NewUnbounded[int]()
+		for _, it := range items {
+			if err := p.Add(it); err != nil {
+				return false
+			}
+		}
+		got := p.Take(0)
+		if len(got) != len(items) {
+			return false
+		}
+		for i := range got {
+			if got[i] != items[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

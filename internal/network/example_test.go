@@ -1,0 +1,41 @@
+package network_test
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/network"
+)
+
+// ExampleTransport wires two endpoints and delivers a message.
+func ExampleTransport() {
+	tr := network.NewTransport(clock.New(), nil)
+	defer tr.Stop()
+
+	done := make(chan network.Message, 1)
+	tr.Register("node-b", func(m network.Message) { done <- m })
+
+	if err := tr.Send("node-a", "node-b", "ping", "hello"); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := <-done
+	fmt.Printf("%s -> %s: %v\n", m.From, m.To, m.Payload)
+	// Output:
+	// node-a -> node-b: hello
+}
+
+// ExamplePaperNetem reproduces the paper's latency emulation and verifies
+// its statistical parameters.
+func ExamplePaperNetem() {
+	model := network.PaperNetem(42)
+	stats := network.MeasureLatency(model, 50000)
+	fmt.Printf("mean within 1ms of 12ms: %v\n",
+		stats.Mean > 11*time.Millisecond && stats.Mean < 13*time.Millisecond)
+	fmt.Printf("sigma within 0.5ms of 2ms: %v\n",
+		stats.Std > 1500*time.Microsecond && stats.Std < 2500*time.Microsecond)
+	// Output:
+	// mean within 1ms of 12ms: true
+	// sigma within 0.5ms of 2ms: true
+}

@@ -1,0 +1,50 @@
+package network
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/coconut-bench/coconut/internal/clock"
+)
+
+func BenchmarkTransportSendDeliver(b *testing.B) {
+	tr := NewTransport(clock.New(), nil)
+	defer tr.Stop()
+	var wg sync.WaitGroup
+	tr.Register("sink", func(Message) { wg.Done() })
+	b.ReportAllocs()
+	b.ResetTimer()
+	wg.Add(b.N)
+	for i := 0; i < b.N; i++ {
+		if err := tr.Send("src", "sink", "bench", i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkTransportBroadcast(b *testing.B) {
+	tr := NewTransport(clock.New(), nil)
+	defer tr.Stop()
+	var wg sync.WaitGroup
+	for _, name := range []string{"n1", "n2", "n3", "n4"} {
+		tr.Register(name, func(Message) { wg.Done() })
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	wg.Add(b.N * 4)
+	for i := 0; i < b.N; i++ {
+		if n := tr.Broadcast("src", "bench", i); n != 4 {
+			b.Fatalf("broadcast reached %d", n)
+		}
+	}
+	wg.Wait()
+}
+
+func BenchmarkNormalLatencyDraw(b *testing.B) {
+	m := PaperNetem(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = m.Delay("a", "b")
+	}
+}

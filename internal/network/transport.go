@@ -1,0 +1,280 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/clock"
+)
+
+// Message is a unit of delivery between endpoints. Payload is an opaque
+// value; systems define their own message types.
+type Message struct {
+	From    string
+	To      string
+	Kind    string
+	Payload any
+	SentAt  time.Time
+}
+
+// Handler receives delivered messages. Handlers run on the transport's
+// delivery goroutines and must not block indefinitely.
+type Handler func(Message)
+
+// Errors returned by Transport operations.
+var (
+	ErrUnknownEndpoint = errors.New("network: unknown endpoint")
+	ErrLinkDown        = errors.New("network: link is partitioned")
+	ErrStopped         = errors.New("network: transport stopped")
+)
+
+// Transport is the in-process message fabric. Each registered endpoint owns
+// an ordered delivery queue: messages on the same directed link are
+// delivered in send order after their latency delay, matching TCP's
+// per-connection FIFO property that the real deployments rely on.
+type Transport struct {
+	clk     clock.Clock
+	latency LatencyModel
+
+	mu        sync.RWMutex
+	endpoints map[string]*endpoint
+	cut       map[linkKey]bool
+	stopped   bool
+
+	wg sync.WaitGroup
+
+	statsMu   sync.Mutex
+	sent      uint64
+	delivered uint64
+	dropped   uint64
+}
+
+type endpoint struct {
+	name    string
+	handler Handler
+	queue   chan queued
+	done    chan struct{}
+}
+
+type queued struct {
+	msg     Message
+	readyAt time.Time
+}
+
+// endpointQueueDepth bounds the per-endpoint in-flight queue. It is sized to
+// absorb the largest burst the benchmarks generate; a full queue drops the
+// message (counted), modeling kernel socket-buffer exhaustion.
+const endpointQueueDepth = 65536
+
+// NewTransport creates a fabric with the given latency model. A nil model
+// defaults to ZeroLatency.
+func NewTransport(clk clock.Clock, latency LatencyModel) *Transport {
+	if latency == nil {
+		latency = ZeroLatency{}
+	}
+	if clk == nil {
+		clk = clock.New()
+	}
+	return &Transport{
+		clk:       clk,
+		latency:   latency,
+		endpoints: make(map[string]*endpoint),
+		cut:       make(map[linkKey]bool),
+	}
+}
+
+// Register attaches a named endpoint with a message handler and starts its
+// delivery loop. Registering the same name twice replaces the handler.
+func (t *Transport) Register(name string, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stopped {
+		return
+	}
+	if ep, ok := t.endpoints[name]; ok {
+		ep.handler = h
+		return
+	}
+	ep := &endpoint{
+		name:    name,
+		handler: h,
+		queue:   make(chan queued, endpointQueueDepth),
+		done:    make(chan struct{}),
+	}
+	t.endpoints[name] = ep
+	t.wg.Add(1)
+	go t.deliverLoop(ep)
+}
+
+// Unregister detaches an endpoint; queued messages for it are dropped.
+func (t *Transport) Unregister(name string) {
+	t.mu.Lock()
+	ep, ok := t.endpoints[name]
+	if ok {
+		delete(t.endpoints, name)
+	}
+	t.mu.Unlock()
+	if ok {
+		close(ep.done)
+	}
+}
+
+// Endpoints returns the names of all registered endpoints.
+func (t *Transport) Endpoints() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := make([]string, 0, len(t.endpoints))
+	for n := range t.endpoints {
+		names = append(names, n)
+	}
+	return names
+}
+
+// Send schedules delivery of a message. It returns an error when the
+// destination is unknown, the link is cut, or the transport is stopped.
+func (t *Transport) Send(from, to, kind string, payload any) error {
+	t.mu.RLock()
+	if t.stopped {
+		t.mu.RUnlock()
+		return ErrStopped
+	}
+	if t.cut[linkKey{from, to}] {
+		t.mu.RUnlock()
+		return ErrLinkDown
+	}
+	ep, ok := t.endpoints[to]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
+	}
+
+	now := t.clk.Now()
+	q := queued{
+		msg: Message{
+			From:    from,
+			To:      to,
+			Kind:    kind,
+			Payload: payload,
+			SentAt:  now,
+		},
+		readyAt: now.Add(t.latency.Delay(from, to)),
+	}
+
+	t.statsMu.Lock()
+	t.sent++
+	t.statsMu.Unlock()
+
+	select {
+	case ep.queue <- q:
+		return nil
+	default:
+		t.statsMu.Lock()
+		t.dropped++
+		t.statsMu.Unlock()
+		return fmt.Errorf("network: endpoint %q queue full", to)
+	}
+}
+
+// Broadcast sends to every registered endpoint except the sender, returning
+// the number of successful sends.
+func (t *Transport) Broadcast(from, kind string, payload any) int {
+	t.mu.RLock()
+	targets := make([]string, 0, len(t.endpoints))
+	for name := range t.endpoints {
+		if name != from {
+			targets = append(targets, name)
+		}
+	}
+	t.mu.RUnlock()
+	n := 0
+	for _, to := range targets {
+		if err := t.Send(from, to, kind, payload); err == nil {
+			n++
+		}
+	}
+	return n
+}
+
+// CutLink partitions the directed link src→dst. Subsequent sends fail.
+func (t *Transport) CutLink(src, dst string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut[linkKey{src, dst}] = true
+}
+
+// HealLink restores a previously cut link.
+func (t *Transport) HealLink(src, dst string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.cut, linkKey{src, dst})
+}
+
+// Isolate cuts every link to and from the named endpoint.
+func (t *Transport) Isolate(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for other := range t.endpoints {
+		if other == name {
+			continue
+		}
+		t.cut[linkKey{name, other}] = true
+		t.cut[linkKey{other, name}] = true
+	}
+}
+
+// Stats reports send/delivery counters.
+func (t *Transport) Stats() (sent, delivered, dropped uint64) {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.sent, t.delivered, t.dropped
+}
+
+// Stop shuts down all delivery loops and waits for them to exit.
+func (t *Transport) Stop() {
+	t.mu.Lock()
+	if t.stopped {
+		t.mu.Unlock()
+		return
+	}
+	t.stopped = true
+	eps := make([]*endpoint, 0, len(t.endpoints))
+	for _, ep := range t.endpoints {
+		eps = append(eps, ep)
+	}
+	t.endpoints = make(map[string]*endpoint)
+	t.mu.Unlock()
+
+	for _, ep := range eps {
+		close(ep.done)
+	}
+	t.wg.Wait()
+}
+
+func (t *Transport) deliverLoop(ep *endpoint) {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-ep.done:
+			return
+		case q := <-ep.queue:
+			if wait := q.readyAt.Sub(t.clk.Now()); wait > 0 {
+				select {
+				case <-t.clk.After(wait):
+				case <-ep.done:
+					return
+				}
+			}
+			t.mu.RLock()
+			h := ep.handler
+			t.mu.RUnlock()
+			if h != nil {
+				h(q.msg)
+			}
+			t.statsMu.Lock()
+			t.delivered++
+			t.statsMu.Unlock()
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Account model errors exposed for matching with errors.Is.
+var (
+	ErrAccountExists     = errors.New("statestore: account already exists")
+	ErrAccountNotFound   = errors.New("statestore: account not found")
+	ErrInsufficientFunds = errors.New("statestore: insufficient funds")
+	ErrBadSequence       = errors.New("statestore: bad sequence number")
+)
+
+// Account is a balance-holding account in the account-model systems
+// (Quorum's Ethereum accounts, Diem's accounts with sequence numbers) and
+// in the BankingApp IEL, which creates a checking and a savings balance per
+// customer (paper Table 3).
+type Account struct {
+	ID       string
+	Checking int64
+	Savings  int64
+	// Seq is the next expected transaction sequence number; Diem enforces
+	// it on submission.
+	Seq uint64
+}
+
+// AccountStore is a thread-safe account-model world state.
+type AccountStore struct {
+	mu       sync.RWMutex
+	accounts map[string]*Account
+}
+
+// NewAccountStore creates an empty store.
+func NewAccountStore() *AccountStore {
+	return &AccountStore{accounts: make(map[string]*Account)}
+}
+
+// Create registers a new account with initial balances.
+func (s *AccountStore) Create(id string, checking, savings int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.accounts[id]; ok {
+		return fmt.Errorf("%w: %q", ErrAccountExists, id)
+	}
+	s.accounts[id] = &Account{ID: id, Checking: checking, Savings: savings}
+	return nil
+}
+
+// Balance returns the checking and savings balances.
+func (s *AccountStore) Balance(id string) (checking, savings int64, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	acc, ok := s.accounts[id]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrAccountNotFound, id)
+	}
+	return acc.Checking, acc.Savings, nil
+}
+
+// Transfer moves amount from one checking account to another, atomically.
+func (s *AccountStore) Transfer(from, to string, amount int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.accounts[from]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrAccountNotFound, from)
+	}
+	dst, ok := s.accounts[to]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrAccountNotFound, to)
+	}
+	if src.Checking < amount {
+		return fmt.Errorf("%w: %q has %d, needs %d", ErrInsufficientFunds, from, src.Checking, amount)
+	}
+	src.Checking -= amount
+	dst.Checking += amount
+	return nil
+}
+
+// NextSeq validates and advances an account's sequence number, as Diem's
+// admission control does. A mismatching sequence is rejected.
+func (s *AccountStore) NextSeq(id string, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	acc, ok := s.accounts[id]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrAccountNotFound, id)
+	}
+	if acc.Seq != seq {
+		return fmt.Errorf("%w: account %q expects %d, got %d", ErrBadSequence, id, acc.Seq, seq)
+	}
+	acc.Seq++
+	return nil
+}
+
+// Exists reports whether an account is registered.
+func (s *AccountStore) Exists(id string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.accounts[id]
+	return ok
+}
+
+// Len returns the number of accounts.
+func (s *AccountStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.accounts)
+}
+
+// TotalFunds sums every balance; transfers must conserve it.
+func (s *AccountStore) TotalFunds() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var total int64
+	for _, acc := range s.accounts {
+		total += acc.Checking + acc.Savings
+	}
+	return total
+}

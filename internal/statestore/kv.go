@@ -1,0 +1,138 @@
+// Package statestore implements the world-state storage engines backing the
+// simulated systems' interface execution layers: a versioned key-value
+// store with MVCC read-set validation (Fabric's execute-order-validate
+// pipeline), and an account store for the account-model systems (Quorum,
+// Diem) and the BankingApp IEL.
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Version identifies the commit that last wrote a key, in Fabric style:
+// block number plus transaction offset within the block.
+type Version struct {
+	BlockNum uint64
+	TxNum    int
+}
+
+// Less orders versions by block then tx offset.
+func (v Version) Less(o Version) bool {
+	if v.BlockNum != o.BlockNum {
+		return v.BlockNum < o.BlockNum
+	}
+	return v.TxNum < o.TxNum
+}
+
+// VersionedValue couples a value with the version that wrote it.
+type VersionedValue struct {
+	Value   string
+	Version Version
+}
+
+// KVStore is a thread-safe versioned key-value world state.
+type KVStore struct {
+	mu   sync.RWMutex
+	data map[string]VersionedValue
+}
+
+// NewKVStore creates an empty store.
+func NewKVStore() *KVStore {
+	return &KVStore{data: make(map[string]VersionedValue)}
+}
+
+// Get returns the value and version for key.
+func (s *KVStore) Get(key string) (VersionedValue, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.data[key]
+	return v, ok
+}
+
+// Set writes key at the given version.
+func (s *KVStore) Set(key, value string, ver Version) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.data[key] = VersionedValue{Value: value, Version: ver}
+}
+
+// Delete removes a key.
+func (s *KVStore) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.data, key)
+}
+
+// Len returns the number of keys.
+func (s *KVStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.data)
+}
+
+// ReadSet records the versions a simulated chaincode execution observed.
+type ReadSet map[string]Version
+
+// WriteSet records the values an execution intends to write.
+type WriteSet map[string]string
+
+// RWSet is the endorsement result of Fabric's execute phase: the read
+// versions and proposed writes produced by simulating a transaction against
+// the current world state.
+type RWSet struct {
+	Reads  ReadSet
+	Writes WriteSet
+}
+
+// NewRWSet returns an empty read-write set.
+func NewRWSet() *RWSet {
+	return &RWSet{Reads: make(ReadSet), Writes: make(WriteSet)}
+}
+
+// RecordRead captures the observed version of key. Missing keys record the
+// zero Version, matching Fabric's nil-version convention.
+func (rw *RWSet) RecordRead(key string, s *KVStore) (string, bool) {
+	v, ok := s.Get(key)
+	if ok {
+		rw.Reads[key] = v.Version
+		return v.Value, true
+	}
+	rw.Reads[key] = Version{}
+	return "", false
+}
+
+// RecordWrite stages a write.
+func (rw *RWSet) RecordWrite(key, value string) { rw.Writes[key] = value }
+
+// ErrMVCCConflict is returned by Validate when a read version is stale —
+// Fabric's MVCC_READ_CONFLICT. The paper's BankingApp-SendPayment
+// benchmark provokes exactly this: overwriting transactions land in the
+// same block, the first commits, the rest fail validation but are still
+// appended to the chain (paper §5.4).
+var ErrMVCCConflict = errors.New("statestore: mvcc read conflict")
+
+// Validate checks the read set against the current world state.
+func (rw *RWSet) Validate(s *KVStore) error {
+	for key, readVer := range rw.Reads {
+		cur, ok := s.Get(key)
+		switch {
+		case !ok && readVer == Version{}:
+			// Key still absent: read remains valid.
+		case !ok:
+			return fmt.Errorf("%w: key %q deleted since read", ErrMVCCConflict, key)
+		case cur.Version != readVer:
+			return fmt.Errorf("%w: key %q read at %+v, now %+v", ErrMVCCConflict, key, readVer, cur.Version)
+		}
+	}
+	return nil
+}
+
+// Commit applies the write set at the given version. Callers must have
+// validated first.
+func (rw *RWSet) Commit(s *KVStore, ver Version) {
+	for key, val := range rw.Writes {
+		s.Set(key, val, ver)
+	}
+}

@@ -1,0 +1,66 @@
+package statestore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkKVSet(b *testing.B) {
+	s := NewKVStore()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Set(fmt.Sprintf("k%d", i%4096), "v", Version{BlockNum: uint64(i)})
+	}
+}
+
+func BenchmarkKVGet(b *testing.B) {
+	s := NewKVStore()
+	for i := 0; i < 4096; i++ {
+		s.Set(fmt.Sprintf("k%d", i), "v", Version{})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(fmt.Sprintf("k%d", i%4096)); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}
+
+func BenchmarkRWSetEndorseValidateCommit(b *testing.B) {
+	// The full Fabric per-transaction state pipeline: record reads and
+	// writes, validate, commit.
+	s := NewKVStore()
+	s.Set("acct/a/checking", "100", Version{})
+	s.Set("acct/b/checking", "0", Version{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rw := NewRWSet()
+		rw.RecordRead("acct/a/checking", s)
+		rw.RecordRead("acct/b/checking", s)
+		rw.RecordWrite("acct/a/checking", "90")
+		rw.RecordWrite("acct/b/checking", "10")
+		if err := rw.Validate(s); err != nil {
+			b.Fatal(err)
+		}
+		rw.Commit(s, Version{BlockNum: uint64(i) + 1})
+	}
+}
+
+func BenchmarkAccountTransfer(b *testing.B) {
+	s := NewAccountStore()
+	if err := s.Create("a", 1<<40, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Create("b", 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Transfer("a", "b", 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,262 @@
+package statestore
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestKVSetGet(t *testing.T) {
+	s := NewKVStore()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store returned a value")
+	}
+	s.Set("k", "v", Version{BlockNum: 1, TxNum: 0})
+	got, ok := s.Get("k")
+	if !ok || got.Value != "v" || got.Version.BlockNum != 1 {
+		t.Fatalf("Get = (%+v, %v)", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.Delete("k")
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestVersionLess(t *testing.T) {
+	cases := []struct {
+		a, b Version
+		want bool
+	}{
+		{Version{1, 0}, Version{2, 0}, true},
+		{Version{2, 0}, Version{1, 0}, false},
+		{Version{1, 1}, Version{1, 2}, true},
+		{Version{1, 2}, Version{1, 2}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Less(c.b); got != c.want {
+			t.Errorf("%+v.Less(%+v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRWSetValidCommit(t *testing.T) {
+	s := NewKVStore()
+	s.Set("k", "v0", Version{BlockNum: 1})
+
+	rw := NewRWSet()
+	val, ok := rw.RecordRead("k", s)
+	if !ok || val != "v0" {
+		t.Fatalf("RecordRead = (%q, %v)", val, ok)
+	}
+	rw.RecordWrite("k", "v1")
+
+	if err := rw.Validate(s); err != nil {
+		t.Fatalf("validation of fresh read failed: %v", err)
+	}
+	rw.Commit(s, Version{BlockNum: 2})
+	got, _ := s.Get("k")
+	if got.Value != "v1" || got.Version.BlockNum != 2 {
+		t.Fatalf("after commit: %+v", got)
+	}
+}
+
+func TestRWSetMVCCConflict(t *testing.T) {
+	s := NewKVStore()
+	s.Set("k", "v0", Version{BlockNum: 1})
+
+	// Two transactions read the same version; the first to commit
+	// invalidates the second — the paper's SendPayment overwrite scenario.
+	rw1, rw2 := NewRWSet(), NewRWSet()
+	rw1.RecordRead("k", s)
+	rw2.RecordRead("k", s)
+	rw1.RecordWrite("k", "a")
+	rw2.RecordWrite("k", "b")
+
+	if err := rw1.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	rw1.Commit(s, Version{BlockNum: 2, TxNum: 0})
+
+	err := rw2.Validate(s)
+	if !errors.Is(err, ErrMVCCConflict) {
+		t.Fatalf("err = %v, want ErrMVCCConflict", err)
+	}
+}
+
+func TestRWSetMissingKeyReadStaysValid(t *testing.T) {
+	s := NewKVStore()
+	rw := NewRWSet()
+	if _, ok := rw.RecordRead("absent", s); ok {
+		t.Fatal("read of missing key reported present")
+	}
+	if err := rw.Validate(s); err != nil {
+		t.Fatalf("phantom-free read failed validation: %v", err)
+	}
+	// Now someone writes the key: the read becomes stale.
+	s.Set("absent", "x", Version{BlockNum: 3})
+	if err := rw.Validate(s); !errors.Is(err, ErrMVCCConflict) {
+		t.Fatalf("err = %v, want ErrMVCCConflict", err)
+	}
+}
+
+func TestRWSetDeletedKeyConflict(t *testing.T) {
+	s := NewKVStore()
+	s.Set("k", "v", Version{BlockNum: 1})
+	rw := NewRWSet()
+	rw.RecordRead("k", s)
+	s.Delete("k")
+	if err := rw.Validate(s); !errors.Is(err, ErrMVCCConflict) {
+		t.Fatalf("err = %v, want ErrMVCCConflict", err)
+	}
+}
+
+func TestAccountCreateAndBalance(t *testing.T) {
+	s := NewAccountStore()
+	if err := s.Create("acc-1", 100, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("acc-1", 0, 0); !errors.Is(err, ErrAccountExists) {
+		t.Fatalf("err = %v, want ErrAccountExists", err)
+	}
+	c, sv, err := s.Balance("acc-1")
+	if err != nil || c != 100 || sv != 50 {
+		t.Fatalf("Balance = (%d,%d,%v)", c, sv, err)
+	}
+	if _, _, err := s.Balance("ghost"); !errors.Is(err, ErrAccountNotFound) {
+		t.Fatalf("err = %v, want ErrAccountNotFound", err)
+	}
+	if !s.Exists("acc-1") || s.Exists("ghost") {
+		t.Fatal("Exists wrong")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestAccountTransfer(t *testing.T) {
+	s := NewAccountStore()
+	mustCreate(t, s, "a", 100)
+	mustCreate(t, s, "b", 0)
+
+	if err := s.Transfer("a", "b", 40); err != nil {
+		t.Fatal(err)
+	}
+	ca, _, _ := s.Balance("a")
+	cb, _, _ := s.Balance("b")
+	if ca != 60 || cb != 40 {
+		t.Fatalf("balances = %d/%d, want 60/40", ca, cb)
+	}
+
+	if err := s.Transfer("a", "b", 1000); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("err = %v, want ErrInsufficientFunds", err)
+	}
+	if err := s.Transfer("ghost", "b", 1); !errors.Is(err, ErrAccountNotFound) {
+		t.Fatalf("err = %v, want ErrAccountNotFound", err)
+	}
+	if err := s.Transfer("a", "ghost", 1); !errors.Is(err, ErrAccountNotFound) {
+		t.Fatalf("err = %v, want ErrAccountNotFound", err)
+	}
+}
+
+func TestAccountSequence(t *testing.T) {
+	s := NewAccountStore()
+	mustCreate(t, s, "a", 0)
+	if err := s.NextSeq("a", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NextSeq("a", 0); !errors.Is(err, ErrBadSequence) {
+		t.Fatalf("replayed seq: err = %v, want ErrBadSequence", err)
+	}
+	if err := s.NextSeq("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.NextSeq("ghost", 0); !errors.Is(err, ErrAccountNotFound) {
+		t.Fatalf("err = %v, want ErrAccountNotFound", err)
+	}
+}
+
+func TestAccountTransferConservesFunds(t *testing.T) {
+	s := NewAccountStore()
+	for i := 0; i < 10; i++ {
+		mustCreate(t, s, fmt.Sprintf("acc-%d", i), 1000)
+	}
+	before := s.TotalFunds()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				from := fmt.Sprintf("acc-%d", i)
+				to := fmt.Sprintf("acc-%d", (i+1)%10)
+				_ = s.Transfer(from, to, 1)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if after := s.TotalFunds(); after != before {
+		t.Fatalf("funds not conserved: before=%d after=%d", before, after)
+	}
+}
+
+// Property: any sequence of valid transfers conserves total funds.
+func TestPropertyTransfersConserveFunds(t *testing.T) {
+	f := func(moves []uint8) bool {
+		s := NewAccountStore()
+		_ = s.Create("a", 1000, 0)
+		_ = s.Create("b", 1000, 0)
+		_ = s.Create("c", 1000, 0)
+		names := []string{"a", "b", "c"}
+		for i, m := range moves {
+			from := names[i%3]
+			to := names[(i+1)%3]
+			_ = s.Transfer(from, to, int64(m))
+		}
+		return s.TotalFunds() == 3000
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: committing a validated RWSet always advances the key version.
+func TestPropertyCommitAdvancesVersion(t *testing.T) {
+	f := func(keys []string, blockNum uint16) bool {
+		s := NewKVStore()
+		rw := NewRWSet()
+		for _, k := range keys {
+			rw.RecordRead(k, s)
+			rw.RecordWrite(k, "v")
+		}
+		if err := rw.Validate(s); err != nil {
+			return false
+		}
+		ver := Version{BlockNum: uint64(blockNum) + 1}
+		rw.Commit(s, ver)
+		for _, k := range keys {
+			got, ok := s.Get(k)
+			if !ok || got.Version != ver {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCreate(t *testing.T, s *AccountStore, id string, funds int64) {
+	t.Helper()
+	if err := s.Create(id, funds, 0); err != nil {
+		t.Fatal(err)
+	}
+}

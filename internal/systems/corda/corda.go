@@ -1,0 +1,529 @@
+// Package corda simulates Corda 4.8.6, both the Open Source and the
+// Enterprise edition, as benchmarked in the paper. Corda is blockless: each
+// transaction is a UTXO flow that must be signed by every node in the
+// network and, when it consumes states, notarised by the uniqueness service
+// (paper §2).
+//
+// Behaviours reproduced from the paper:
+//   - Corda OS processes flows on a single worker and collects the other
+//     nodes' signatures serially ("Corda OS does this serially", §5.1);
+//     Enterprise uses multithreaded flow workers and parallel signing
+//     (§5.2) — the cause of the roughly 10x gap between the editions.
+//   - Read flows (KeyValue-Get, BankingApp-Balance) iterate over every
+//     vault state to find a key ("These functions require ... iterating
+//     over each KeyValue pair", §5.1). Under load the scan pushes flows
+//     past their deadline: Corda OS Get fails completely, Enterprise reads
+//     crawl at 0.13-3.5 MTPS.
+//   - Only flows that consume states (SendPayment) talk to the notary
+//     (§5.8.1), which rejects already-consumed states.
+//   - Failed, timed-out, or rejected flows produce no client event: the
+//     paper counts them as transactions never received.
+package corda
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/consensus"
+	"github.com/coconut-bench/coconut/internal/consensus/notary"
+	"github.com/coconut-bench/coconut/internal/crypto"
+	"github.com/coconut-bench/coconut/internal/iel"
+	"github.com/coconut-bench/coconut/internal/network"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// Edition selects the Corda variant.
+type Edition int
+
+// Corda editions.
+const (
+	OpenSource Edition = iota + 1
+	Enterprise
+)
+
+// String implements fmt.Stringer.
+func (e Edition) String() string {
+	switch e {
+	case OpenSource:
+		return systems.NameCordaOS
+	case Enterprise:
+		return systems.NameCordaEnt
+	default:
+		return fmt.Sprintf("Edition(%d)", int(e))
+	}
+}
+
+// Config parameterizes a Corda network.
+type Config struct {
+	// Edition selects OS or Enterprise defaults.
+	Edition Edition
+	// Nodes is the network size (paper: 4; every node signs every flow).
+	Nodes int
+	// FlowWorkers is the per-node flow concurrency (OS default 1,
+	// Enterprise default 8).
+	FlowWorkers int
+	// SignProcessing is the per-party flow-processing time during signature
+	// collection (OS default 25ms, Enterprise 8ms).
+	SignProcessing time.Duration
+	// ScanCost is the per-state cost of vault queries (OS default 80µs,
+	// Enterprise 10µs).
+	ScanCost time.Duration
+	// FlowTimeout abandons flows that run too long; abandoned flows are
+	// lost without a client event. Default 2s.
+	FlowTimeout time.Duration
+	// QueueDepth bounds each node's flow backlog; overflow is dropped
+	// silently (lost). Default 4096.
+	QueueDepth int
+	// RequiredSigners, when positive, bounds how many counterparties must
+	// sign each flow instead of the whole network. The paper's lessons
+	// learned (§6) suggest exactly this: "In a network that consists of
+	// many peers, where only a small subset of nodes need to sign a
+	// transaction at a time, Corda could achieve higher performance than
+	// Fabric." 0 = every other node signs (the paper's benchmarked setup).
+	RequiredSigners int
+	// ReadScanBudget, when positive, bounds how many vault states a read
+	// flow may visit before it is abandoned as timed out. It models the
+	// paper's Corda OS finding that full-vault iteration makes reads
+	// hopeless once the vault is non-trivial (§5.1). 0 = unlimited.
+	ReadScanBudget int
+	// Latency models per-hop network delay for signing and notarisation
+	// round trips (nil = zero latency).
+	Latency network.LatencyModel
+	// Clock drives timers and simulated processing.
+	Clock clock.Clock
+}
+
+func (c *Config) fill() {
+	if c.Edition == 0 {
+		c.Edition = OpenSource
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = 4
+	}
+	if c.FlowWorkers <= 0 {
+		if c.Edition == Enterprise {
+			c.FlowWorkers = 8
+		} else {
+			c.FlowWorkers = 1
+		}
+	}
+	if c.SignProcessing <= 0 {
+		if c.Edition == Enterprise {
+			c.SignProcessing = 8 * time.Millisecond
+		} else {
+			c.SignProcessing = 25 * time.Millisecond
+		}
+	}
+	if c.ScanCost <= 0 {
+		if c.Edition == Enterprise {
+			c.ScanCost = 10 * time.Microsecond
+		} else {
+			c.ScanCost = 80 * time.Microsecond
+		}
+	}
+	if c.FlowTimeout <= 0 {
+		c.FlowTimeout = 2 * time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 4096
+	}
+	if c.Latency == nil {
+		c.Latency = network.ZeroLatency{}
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+}
+
+// flowJob is one queued flow invocation.
+type flowJob struct {
+	tx *chain.Transaction
+}
+
+// node is one Corda node.
+type node struct {
+	id    string
+	vault *chain.Vault
+	queue chan flowJob
+}
+
+// Network is a full Corda deployment (either edition).
+type Network struct {
+	cfg Config
+
+	hub     *systems.Hub
+	nodes   []*node
+	notary  *notary.Service
+	signers map[string]*crypto.Identity
+
+	mu      sync.Mutex
+	running bool
+	dropped uint64 // flows lost to queue overflow
+	timeout uint64 // flows lost to deadline
+	failed  uint64 // flows lost to execution/notary failure
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+var _ systems.Driver = (*Network)(nil)
+
+// New assembles a Corda network of the configured edition.
+func New(cfg Config) *Network {
+	cfg.fill()
+	n := &Network{
+		cfg:     cfg,
+		hub:     systems.NewHub(cfg.Nodes),
+		notary:  notary.NewService("corda-notary"),
+		signers: make(map[string]*crypto.Identity, cfg.Nodes),
+		stop:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := fmt.Sprintf("corda-node-%d", i)
+		n.nodes = append(n.nodes, &node{
+			id:    id,
+			vault: chain.NewVault(),
+			queue: make(chan flowJob, cfg.QueueDepth),
+		})
+		n.signers[id] = crypto.NewIdentity(id)
+	}
+	return n
+}
+
+// NewOS assembles a Corda Open Source network.
+func NewOS(cfg Config) *Network {
+	cfg.Edition = OpenSource
+	return New(cfg)
+}
+
+// NewEnterprise assembles a Corda Enterprise network.
+func NewEnterprise(cfg Config) *Network {
+	cfg.Edition = Enterprise
+	return New(cfg)
+}
+
+// Name implements systems.Driver.
+func (n *Network) Name() string { return n.cfg.Edition.String() }
+
+// NodeCount implements systems.Driver.
+func (n *Network) NodeCount() int { return n.cfg.Nodes }
+
+// Subscribe implements systems.Driver.
+func (n *Network) Subscribe(client string, fn systems.EventFunc) { n.hub.Subscribe(client, fn) }
+
+// Start implements systems.Driver.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	if n.running {
+		n.mu.Unlock()
+		return nil
+	}
+	n.running = true
+	n.mu.Unlock()
+
+	for _, nd := range n.nodes {
+		for w := 0; w < n.cfg.FlowWorkers; w++ {
+			nd := nd
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				for {
+					select {
+					case <-n.stop:
+						return
+					case job := <-nd.queue:
+						n.runFlow(nd, job.tx)
+					}
+				}
+			}()
+		}
+	}
+	return nil
+}
+
+// Stop implements systems.Driver.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	n.mu.Unlock()
+	close(n.stop)
+	n.wg.Wait()
+}
+
+// Submit implements systems.Driver: the flow enqueues on the entry node's
+// flow workers. Overflow drops the flow silently (lost end to end).
+func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return consensus.ErrNotRunning
+	}
+	n.mu.Unlock()
+
+	nd := n.nodes[entryNode%len(n.nodes)]
+	select {
+	case nd.queue <- flowJob{tx: tx}:
+		return nil
+	default:
+		n.mu.Lock()
+		n.dropped++
+		n.mu.Unlock()
+		return nil // silent: the RPC accepted the flow, the node shed it
+	}
+}
+
+// runFlow executes one flow end to end on the entry node.
+func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
+	started := n.cfg.Clock.Now()
+	op := tx.Ops[0]
+
+	// Phase 1: build the UTXO transaction, paying vault-scan costs for
+	// reads and input resolution.
+	utx, readOnly, err := n.buildTransaction(entry, tx, op)
+	if err != nil {
+		n.recordFailure()
+		return
+	}
+	if n.deadlineExceeded(started) {
+		n.recordTimeout()
+		return
+	}
+
+	// Phase 2: collect signatures. The benchmarked deployments require
+	// every other node to sign; RequiredSigners > 0 enables the paper's
+	// §6 subset-signing improvement. Serial for OS, parallel for
+	// Enterprise.
+	parties := make([]string, 0, len(n.nodes)-1)
+	for _, other := range n.nodes {
+		if other != entry {
+			parties = append(parties, other.id)
+		}
+	}
+	if k := n.cfg.RequiredSigners; k > 0 && k < len(parties) {
+		parties = parties[:k]
+	}
+	mode := notary.Serial
+	if n.cfg.Edition == Enterprise {
+		mode = notary.Parallel
+	}
+	txID := flowTxID(tx, utx)
+	_, err = notary.CollectSignatures(mode, parties, txID, func(party string, id crypto.Hash) (crypto.Signature, error) {
+		// One round trip to the counterparty plus its flow processing.
+		rtt := n.cfg.Latency.Delay(entry.id, party) + n.cfg.Latency.Delay(party, entry.id)
+		n.cfg.Clock.Sleep(rtt + n.cfg.SignProcessing)
+		return crypto.Signature{Signer: party, Bytes: n.signers[party].Sign(id.Bytes())}, nil
+	})
+	if err != nil {
+		n.recordFailure()
+		return
+	}
+	if n.deadlineExceeded(started) {
+		n.recordTimeout()
+		return
+	}
+
+	// Phase 3: notarise when the flow consumes states (§5.8.1: only
+	// SendPayment needs the notary).
+	if utx != nil && len(utx.Inputs) > 0 {
+		rtt := n.cfg.Latency.Delay(entry.id, n.notary.Name) + n.cfg.Latency.Delay(n.notary.Name, entry.id)
+		n.cfg.Clock.Sleep(rtt)
+		if err := n.notary.Notarise(utx.ID, utx.Inputs); err != nil {
+			n.recordFailure() // double spend: flow fails, tx lost
+			return
+		}
+	}
+	if n.deadlineExceeded(started) {
+		n.recordTimeout()
+		return
+	}
+
+	// Phase 4: finality — distribute to every vault; reads complete on the
+	// entry node alone.
+	now := n.cfg.Clock.Now()
+	ev := systems.Event{
+		TxID:      tx.ID,
+		Client:    tx.Client,
+		Committed: true,
+		ValidOK:   true,
+		OpCount:   tx.OpCount(),
+	}
+	if readOnly || utx == nil {
+		n.hub.EmitDirect(ev, now)
+		return
+	}
+	for _, nd := range n.nodes {
+		if nd != entry {
+			// State distribution crosses the network once per node.
+			n.cfg.Clock.Sleep(n.cfg.Latency.Delay(entry.id, nd.id))
+		}
+		if err := nd.vault.Apply(utx); err != nil {
+			n.recordFailure()
+			return
+		}
+		n.hub.NodeCommitted(nd.id, ev, n.cfg.Clock.Now())
+	}
+}
+
+// buildTransaction translates an IEL operation into a UTXO transaction,
+// charging vault scan costs. It returns utx == nil with readOnly == true
+// for pure reads.
+func (n *Network) buildTransaction(entry *node, tx *chain.Transaction, op chain.Operation) (*chain.UTXOTransaction, bool, error) {
+	switch {
+	case op.IEL == iel.DoNothingName:
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op, nil,
+			[]chain.ContractState{{Kind: "noop", Key: crypto.FormatID("noop", tx.ID)}})
+		return utx, false, nil
+
+	case op.IEL == iel.KeyValueName && op.Function == iel.FnSet:
+		if len(op.Args) != 2 {
+			return nil, false, fmt.Errorf("corda: Set wants 2 args")
+		}
+		// The paper's KeyValue-Set "iteratively check[s] whether a KeyValue
+		// pair exists" just like Get (§5.1), so the write pays the
+		// duplicate-check scan. Unlike pure reads it is not budget-bounded:
+		// the flow proceeds once the (always absent) key is not found.
+		n.scanVaultUnbounded(entry, "kv", op.Args[0])
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op, nil,
+			[]chain.ContractState{{Kind: "kv", Key: op.Args[0], Value: op.Args[1], Owner: tx.Client}})
+		return utx, false, nil
+
+	case op.IEL == iel.KeyValueName && op.Function == iel.FnGet:
+		if len(op.Args) != 1 {
+			return nil, false, fmt.Errorf("corda: Get wants 1 arg")
+		}
+		_, _, found, err := n.scanVault(entry, "kv", op.Args[0])
+		if err != nil {
+			return nil, true, err
+		}
+		if !found {
+			return nil, true, fmt.Errorf("corda: key %q not found", op.Args[0])
+		}
+		return nil, true, nil
+
+	case op.IEL == iel.BankingAppName && op.Function == iel.FnCreateAccount:
+		if len(op.Args) != 3 {
+			return nil, false, fmt.Errorf("corda: CreateAccount wants 3 args")
+		}
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op, nil, []chain.ContractState{
+			{Kind: "account", Key: op.Args[0], Value: op.Args[1], Owner: tx.Client},
+			{Kind: "savings", Key: op.Args[0], Value: op.Args[2], Owner: tx.Client},
+		})
+		return utx, false, nil
+
+	case op.IEL == iel.BankingAppName && op.Function == iel.FnSendPayment:
+		if len(op.Args) != 3 {
+			return nil, false, fmt.Errorf("corda: SendPayment wants 3 args")
+		}
+		ref, st, found, err := n.scanVault(entry, "account", op.Args[0])
+		if err != nil {
+			return nil, false, err
+		}
+		if !found {
+			return nil, false, fmt.Errorf("corda: account %q not found", op.Args[0])
+		}
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op,
+			[]chain.StateRef{ref},
+			[]chain.ContractState{{Kind: "account", Key: op.Args[1], Value: st.Value, Owner: tx.Client}})
+		return utx, false, nil
+
+	case op.IEL == iel.BankingAppName && op.Function == iel.FnBalance:
+		if len(op.Args) != 1 {
+			return nil, false, fmt.Errorf("corda: Balance wants 1 arg")
+		}
+		_, _, found, err := n.scanVault(entry, "account", op.Args[0])
+		if err != nil {
+			return nil, true, err
+		}
+		if !found {
+			return nil, true, fmt.Errorf("corda: account %q not found", op.Args[0])
+		}
+		return nil, true, nil
+
+	default:
+		return nil, false, fmt.Errorf("corda: unsupported operation %s", op)
+	}
+}
+
+// errScanBudget marks a vault scan abandoned for exceeding ReadScanBudget.
+var errScanBudget = fmt.Errorf("corda: vault scan exceeds read budget")
+
+// scanVault linear-scans the entry node's vault and charges ScanCost per
+// visited state — the paper's Corda read pathology. When ReadScanBudget is
+// set and the vault holds more states than the flow can visit within its
+// deadline, the scan is abandoned.
+func (n *Network) scanVault(entry *node, kind, key string) (chain.StateRef, chain.ContractState, bool, error) {
+	if b := n.cfg.ReadScanBudget; b > 0 && entry.vault.UnspentCount() > b {
+		// The flow burns its whole budget before giving up.
+		n.cfg.Clock.Sleep(time.Duration(b) * n.cfg.ScanCost)
+		return chain.StateRef{}, chain.ContractState{}, false, errScanBudget
+	}
+	visited := 0
+	var (
+		outRef chain.StateRef
+		outSt  chain.ContractState
+		found  bool
+	)
+	visited = entry.vault.LinearScan(func(ref chain.StateRef, st chain.ContractState) bool {
+		if st.Kind == kind && st.Key == key {
+			outRef, outSt, found = ref, st, true
+			return true
+		}
+		return false
+	})
+	if cost := time.Duration(visited) * n.cfg.ScanCost; cost > 0 {
+		n.cfg.Clock.Sleep(cost)
+	}
+	return outRef, outSt, found, nil
+}
+
+// scanVaultUnbounded walks the whole vault charging ScanCost per state,
+// with no read budget — used by the Set duplicate check, which always scans
+// to completion.
+func (n *Network) scanVaultUnbounded(entry *node, kind, key string) {
+	visited := entry.vault.LinearScan(func(_ chain.StateRef, st chain.ContractState) bool {
+		return st.Kind == kind && st.Key == key
+	})
+	if cost := time.Duration(visited) * n.cfg.ScanCost; cost > 0 {
+		n.cfg.Clock.Sleep(cost)
+	}
+}
+
+func flowTxID(tx *chain.Transaction, utx *chain.UTXOTransaction) crypto.Hash {
+	if utx != nil {
+		return utx.ID
+	}
+	return tx.ID
+}
+
+func (n *Network) deadlineExceeded(started time.Time) bool {
+	return n.cfg.Clock.Since(started) > n.cfg.FlowTimeout
+}
+
+func (n *Network) recordFailure() {
+	n.mu.Lock()
+	n.failed++
+	n.mu.Unlock()
+}
+
+func (n *Network) recordTimeout() {
+	n.mu.Lock()
+	n.timeout++
+	n.mu.Unlock()
+}
+
+// LossStats reports flows lost to queue overflow, deadline, and failure.
+func (n *Network) LossStats() (dropped, timedOut, failed uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dropped, n.timeout, n.failed
+}
+
+// VaultSize reports node i's unspent state count.
+func (n *Network) VaultSize(i int) int { return n.nodes[i%len(n.nodes)].vault.UnspentCount() }

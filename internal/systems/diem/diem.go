@@ -1,0 +1,325 @@
+// Package diem simulates the Diem (formerly Libra) blockchain as benchmarked
+// in the paper: DiemBFT consensus with rotating leaders, blocks bounded by
+// max_block_size, account sequence numbers enforced at admission, and the
+// "spiking" behaviour in which validators temporarily stop validating
+// transactions (paper §5.7, citing Balster).
+//
+// Behaviours reproduced from the paper:
+//   - max_block_size ∈ {100, 500, 1000, 2000} bounds the transactions the
+//     round leader pulls per proposal (Table 5); varying it "only [has] a
+//     minor impact on the overall performance".
+//   - A significant number of transactions fail under load: the bounded
+//     admission queue rejects while validators spike, so blocks never
+//     saturate and throughput decreases as the rate limiter rises.
+//   - Empty blocks keep rounds advancing while a leader spikes.
+package diem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/consensus"
+	"github.com/coconut-bench/coconut/internal/consensus/diembft"
+	"github.com/coconut-bench/coconut/internal/iel"
+	"github.com/coconut-bench/coconut/internal/mempool"
+	"github.com/coconut-bench/coconut/internal/network"
+	"github.com/coconut-bench/coconut/internal/statestore"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// Config parameterizes a Diem network.
+type Config struct {
+	// Validators is the network size (paper: 4).
+	Validators int
+	// MaxBlockSize is the paper's max_block_size (default 3000 upstream;
+	// the paper sweeps {100, 500, 1000, 2000}).
+	MaxBlockSize int
+	// RoundInterval paces DiemBFT rounds.
+	RoundInterval time.Duration
+	// MempoolDepth bounds each validator's admission queue.
+	MempoolDepth int
+	// SpikePeriod is how often a validator enters a validation stall; 0
+	// disables spiking.
+	SpikePeriod time.Duration
+	// SpikeDuration is how long each stall lasts.
+	SpikeDuration time.Duration
+	// Transport carries all messages; nil creates a private fabric.
+	Transport *network.Transport
+	// Clock drives timers.
+	Clock clock.Clock
+}
+
+func (c *Config) fill() {
+	if c.Validators <= 0 {
+		c.Validators = 4
+	}
+	if c.MaxBlockSize <= 0 {
+		c.MaxBlockSize = 3000
+	}
+	if c.RoundInterval <= 0 {
+		c.RoundInterval = 20 * time.Millisecond
+	}
+	if c.MempoolDepth <= 0 {
+		c.MempoolDepth = 2048
+	}
+	if c.SpikeDuration <= 0 {
+		c.SpikeDuration = c.RoundInterval * 4
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+}
+
+// proposedBlock is the DiemBFT payload.
+type proposedBlock struct {
+	Txs      []*chain.Transaction
+	FormedAt time.Time
+	Proposer string
+}
+
+// validator is one Diem node.
+type validator struct {
+	id     string
+	engine *diembft.Engine
+	ledger *chain.Ledger
+	state  *statestore.KVStore
+	pool   *mempool.Pool[*chain.Transaction]
+
+	mu         sync.Mutex
+	spikeUntil time.Time
+	lastSpike  time.Time
+}
+
+// Network is a full Diem deployment.
+type Network struct {
+	cfg Config
+
+	transport    *network.Transport
+	ownTransport bool
+	hub          *systems.Hub
+	validators   []*validator
+
+	mu      sync.Mutex
+	running bool
+}
+
+var _ systems.Driver = (*Network)(nil)
+
+// New assembles a Diem network.
+func New(cfg Config) *Network {
+	cfg.fill()
+	n := &Network{
+		cfg: cfg,
+		hub: systems.NewHub(cfg.Validators),
+	}
+	if cfg.Transport == nil {
+		n.transport = network.NewTransport(cfg.Clock, nil)
+		n.ownTransport = true
+	} else {
+		n.transport = cfg.Transport
+	}
+
+	names := make([]string, cfg.Validators)
+	for i := range names {
+		names[i] = fmt.Sprintf("diem-%d", i)
+	}
+	for i := 0; i < cfg.Validators; i++ {
+		v := &validator{
+			id:     names[i],
+			ledger: chain.NewLedger("diem"),
+			state:  statestore.NewKVStore(),
+			pool:   mempool.NewBounded[*chain.Transaction](cfg.MempoolDepth),
+		}
+		v.lastSpike = cfg.Clock.Now()
+		v.engine = diembft.New(diembft.Config{
+			ID:            v.id,
+			Validators:    names,
+			Transport:     n.transport,
+			Clock:         cfg.Clock,
+			RoundInterval: cfg.RoundInterval,
+			OnDecide:      n.makeDecideFunc(v),
+			PayloadSource: n.makePayloadSource(v),
+		})
+		n.validators = append(n.validators, v)
+	}
+	return n
+}
+
+// Name implements systems.Driver.
+func (n *Network) Name() string { return systems.NameDiem }
+
+// NodeCount implements systems.Driver.
+func (n *Network) NodeCount() int { return n.cfg.Validators }
+
+// Subscribe implements systems.Driver.
+func (n *Network) Subscribe(client string, fn systems.EventFunc) { n.hub.Subscribe(client, fn) }
+
+// Start implements systems.Driver.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	if n.running {
+		n.mu.Unlock()
+		return nil
+	}
+	n.running = true
+	n.mu.Unlock()
+	for i, v := range n.validators {
+		if err := v.engine.Start(); err != nil {
+			return fmt.Errorf("start validator %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Stop implements systems.Driver.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	n.mu.Unlock()
+	for _, v := range n.validators {
+		v.engine.Stop()
+	}
+	if n.ownTransport {
+		n.transport.Stop()
+	}
+}
+
+// Submit implements systems.Driver: admission control checks the bounded
+// mempool. Rejections surface to the client, which counts the transaction
+// as failed (the paper's dominant Diem loss mode).
+func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return consensus.ErrNotRunning
+	}
+	n.mu.Unlock()
+
+	v := n.validators[entryNode%len(n.validators)]
+	return v.pool.Add(tx)
+}
+
+// makePayloadSource pulls up to MaxBlockSize transactions from the leader's
+// pool at proposal time — unless the validator is spiking, in which case it
+// proposes nothing and the engine emits an empty block.
+func (n *Network) makePayloadSource(v *validator) func() any {
+	return func() any {
+		if n.spiking(v) {
+			return nil
+		}
+		txs := v.pool.Take(n.cfg.MaxBlockSize)
+		if len(txs) == 0 {
+			return nil
+		}
+		return proposedBlock{Txs: txs, FormedAt: n.cfg.Clock.Now(), Proposer: v.id}
+	}
+}
+
+// spiking evaluates and advances the validator's spike schedule.
+func (n *Network) spiking(v *validator) bool {
+	if n.cfg.SpikePeriod <= 0 {
+		return false
+	}
+	now := n.cfg.Clock.Now()
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if now.Before(v.spikeUntil) {
+		return true
+	}
+	if now.Sub(v.lastSpike) >= n.cfg.SpikePeriod {
+		v.lastSpike = now
+		v.spikeUntil = now.Add(n.cfg.SpikeDuration)
+		return true
+	}
+	return false
+}
+
+// makeDecideFunc builds the commit pipeline: execute in order, append to the
+// ledger, report per-transaction commits.
+func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
+	return func(d consensus.Decision) {
+		blk, ok := d.Payload.(proposedBlock)
+		if !ok {
+			return
+		}
+		cb := chain.NewBlock(v.ledger.Head(), blk.Proposer, blk.FormedAt, blk.Txs)
+		if err := v.ledger.Append(cb); err != nil {
+			return
+		}
+		now := n.cfg.Clock.Now()
+		for txNum, tx := range blk.Txs {
+			execErr := executeTx(tx, v.state, cb.Number, txNum)
+			ev := systems.Event{
+				TxID:      tx.ID,
+				Client:    tx.Client,
+				Committed: true,
+				ValidOK:   execErr == nil,
+				OpCount:   tx.OpCount(),
+				BlockNum:  cb.Number,
+			}
+			if execErr != nil {
+				ev.Reason = execErr.Error()
+			}
+			n.hub.NodeCommitted(v.id, ev, now)
+		}
+	}
+}
+
+func executeTx(tx *chain.Transaction, st *statestore.KVStore, blockNum uint64, txNum int) error {
+	a := &kvAdapter{state: st, ver: statestore.Version{BlockNum: blockNum, TxNum: txNum}}
+	for _, op := range tx.Ops {
+		if err := iel.Execute(op, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type kvAdapter struct {
+	state *statestore.KVStore
+	ver   statestore.Version
+}
+
+var _ iel.StateOps = (*kvAdapter)(nil)
+
+func (a *kvAdapter) Get(key string) (string, bool) {
+	v, ok := a.state.Get(key)
+	return v.Value, ok
+}
+
+func (a *kvAdapter) Put(key, value string) { a.state.Set(key, value, a.ver) }
+
+// Drained implements systems.Quiescer: every validator mempool is empty.
+func (n *Network) Drained() bool {
+	for _, v := range n.validators {
+		if v.pool.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// PoolStats aggregates admission counters across validators.
+func (n *Network) PoolStats() (admitted, rejected uint64) {
+	for _, v := range n.validators {
+		a, r := v.pool.Stats()
+		admitted += a
+		rejected += r
+	}
+	return admitted, rejected
+}
+
+// ChainHeight reports validator 0's block height.
+func (n *Network) ChainHeight() uint64 { return n.validators[0].ledger.Height() }
+
+// WorldState exposes validator i's state.
+func (n *Network) WorldState(i int) *statestore.KVStore {
+	return n.validators[i%len(n.validators)].state
+}

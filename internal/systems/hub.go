@@ -1,0 +1,106 @@
+package systems
+
+import (
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/crypto"
+)
+
+// Hub aggregates per-node commit notifications and fires the end-to-end
+// finalization event once every node in the network has persisted a
+// transaction. It also routes events to the submitting client's
+// subscription, mirroring COCONUT's event-based collection (§3).
+type Hub struct {
+	nodes int
+
+	mu      sync.Mutex
+	pending map[crypto.Hash]*pendingTx
+	subs    map[string]EventFunc
+	emitted map[crypto.Hash]bool
+}
+
+type pendingTx struct {
+	event Event
+	seen  map[string]bool
+}
+
+// NewHub creates a hub for a network of the given node count.
+func NewHub(nodes int) *Hub {
+	return &Hub{
+		nodes:   nodes,
+		pending: make(map[crypto.Hash]*pendingTx),
+		subs:    make(map[string]EventFunc),
+		emitted: make(map[crypto.Hash]bool),
+	}
+}
+
+// Subscribe registers fn as the listener for events whose Client matches.
+func (h *Hub) Subscribe(client string, fn EventFunc) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs[client] = fn
+}
+
+// NodeCommitted records that one node persisted the transaction described
+// by ev. When all nodes have reported, the event fires to the client's
+// subscription with FinalizedAt set to the last node's commit time.
+// Duplicate reports from the same node are ignored.
+func (h *Hub) NodeCommitted(nodeID string, ev Event, at time.Time) {
+	h.mu.Lock()
+	if h.emitted[ev.TxID] {
+		h.mu.Unlock()
+		return
+	}
+	p, ok := h.pending[ev.TxID]
+	if !ok {
+		p = &pendingTx{event: ev, seen: make(map[string]bool, h.nodes)}
+		h.pending[ev.TxID] = p
+	}
+	if p.seen[nodeID] {
+		h.mu.Unlock()
+		return
+	}
+	p.seen[nodeID] = true
+	if len(p.seen) < h.nodes {
+		h.mu.Unlock()
+		return
+	}
+	// Final node: emit.
+	delete(h.pending, ev.TxID)
+	h.emitted[ev.TxID] = true
+	out := p.event
+	out.FinalizedAt = at
+	fn := h.subs[out.Client]
+	h.mu.Unlock()
+
+	if fn != nil {
+		fn(out)
+	}
+}
+
+// EmitDirect fires an event immediately, bypassing per-node tracking. Used
+// for client-visible rejections that never reach the chain.
+func (h *Hub) EmitDirect(ev Event, at time.Time) {
+	ev.FinalizedAt = at
+	h.mu.Lock()
+	fn := h.subs[ev.Client]
+	h.mu.Unlock()
+	if fn != nil {
+		fn(ev)
+	}
+}
+
+// PendingCount reports transactions persisted on some but not all nodes.
+func (h *Hub) PendingCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pending)
+}
+
+// EmittedCount reports fully finalized transactions.
+func (h *Hub) EmittedCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.emitted)
+}

@@ -1,0 +1,432 @@
+// Package quorum simulates ConsenSys Quorum with Istanbul BFT consensus as
+// benchmarked in the paper: an Ethereum-derived account-model chain with the
+// order-execute paradigm, block production every istanbul.blockperiod
+// seconds, and gossiped transaction pools.
+//
+// Behaviours reproduced from the paper:
+//   - Order-execute: transactions are ordered first and executed after
+//     consensus; failed executions are still included in the block (§5.5).
+//   - istanbul.blockperiod ∈ {1, 2, 5, 10}s controls block cadence (Table 6).
+//   - The liveness violation: "when istanbul.blockperiod is low, combined
+//     with a high rate limiter value, Quorum adds transactions to a queue,
+//     but the queue is no longer processed" — nodes keep producing empty
+//     blocks and every transaction is lost (§5.5). Modeled by a stall that
+//     latches when the pool backlog crosses StallQueueLimit while the block
+//     period is at or below StallBlockPeriod.
+package quorum
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/consensus"
+	"github.com/coconut-bench/coconut/internal/consensus/ibft"
+	"github.com/coconut-bench/coconut/internal/crypto"
+	"github.com/coconut-bench/coconut/internal/iel"
+	"github.com/coconut-bench/coconut/internal/mempool"
+	"github.com/coconut-bench/coconut/internal/network"
+	"github.com/coconut-bench/coconut/internal/statestore"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// Config parameterizes a Quorum network.
+type Config struct {
+	// Validators is the network size (paper: 4).
+	Validators int
+	// BlockPeriod is istanbul.blockperiod (paper default 1s; Table 6 uses
+	// {1, 2, 5, 10}s; benchmarks scale it down).
+	BlockPeriod time.Duration
+	// MaxBlockTxs caps transactions per block (the gas-limit equivalent).
+	MaxBlockTxs int
+	// StallBlockPeriod is the block period at or below which the livelock
+	// can latch (the paper observes it for blockperiod <= 2s).
+	StallBlockPeriod time.Duration
+	// StallQueueLimit is the pool backlog that triggers the livelock when
+	// the block period is at or below StallBlockPeriod.
+	StallQueueLimit int
+	// Transport carries all messages; nil creates a private fabric.
+	Transport *network.Transport
+	// Clock drives timers.
+	Clock clock.Clock
+}
+
+func (c *Config) fill() {
+	if c.Validators <= 0 {
+		c.Validators = 4
+	}
+	if c.BlockPeriod <= 0 {
+		c.BlockPeriod = time.Second
+	}
+	if c.MaxBlockTxs <= 0 {
+		c.MaxBlockTxs = 4096
+	}
+	if c.StallQueueLimit <= 0 {
+		c.StallQueueLimit = 8192
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+}
+
+// producedBlock is the IBFT payload.
+type producedBlock struct {
+	Txs      []*chain.Transaction
+	FormedAt time.Time
+	Producer string
+}
+
+// validator is one Quorum node.
+type validator struct {
+	id     string
+	engine *ibft.Engine
+	ledger *chain.Ledger
+	state  *statestore.KVStore
+	pool   *mempool.Pool[*chain.Transaction]
+
+	mu      sync.Mutex
+	seen    map[crypto.Hash]bool
+	stalled bool
+}
+
+// Network is a full Quorum deployment.
+type Network struct {
+	cfg Config
+
+	transport    *network.Transport
+	ownTransport bool
+	hub          *systems.Hub
+	validators   []*validator
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+var _ systems.Driver = (*Network)(nil)
+
+// New assembles a Quorum network.
+func New(cfg Config) *Network {
+	cfg.fill()
+	n := &Network{
+		cfg:  cfg,
+		hub:  systems.NewHub(cfg.Validators),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.Transport == nil {
+		n.transport = network.NewTransport(cfg.Clock, nil)
+		n.ownTransport = true
+	} else {
+		n.transport = cfg.Transport
+	}
+
+	names := make([]string, cfg.Validators)
+	for i := range names {
+		names[i] = fmt.Sprintf("quorum-%d", i)
+	}
+	for i := 0; i < cfg.Validators; i++ {
+		v := &validator{
+			id:     names[i],
+			ledger: chain.NewLedger("quorum"),
+			state:  statestore.NewKVStore(),
+			pool:   mempool.NewUnbounded[*chain.Transaction](),
+			seen:   make(map[crypto.Hash]bool),
+		}
+		v.engine = ibft.New(ibft.Config{
+			ID:         v.id,
+			Validators: names,
+			Transport:  n.transport,
+			Clock:      cfg.Clock,
+			OnDecide:   n.makeDecideFunc(v),
+			Digest: func(p any) crypto.Hash {
+				blk, ok := p.(producedBlock)
+				if !ok {
+					return crypto.SumString(fmt.Sprintf("%v", p))
+				}
+				leaves := make([]crypto.Hash, len(blk.Txs))
+				for i, tx := range blk.Txs {
+					leaves[i] = tx.ID
+				}
+				return crypto.Sum(crypto.MerkleRoot(leaves).Bytes(), []byte(blk.Producer),
+					crypto.Uint64Bytes(uint64(blk.FormedAt.UnixNano())))
+			},
+		})
+		n.validators = append(n.validators, v)
+	}
+	return n
+}
+
+// Name implements systems.Driver.
+func (n *Network) Name() string { return systems.NameQuorum }
+
+// NodeCount implements systems.Driver.
+func (n *Network) NodeCount() int { return n.cfg.Validators }
+
+// Subscribe implements systems.Driver.
+func (n *Network) Subscribe(client string, fn systems.EventFunc) { n.hub.Subscribe(client, fn) }
+
+// Start implements systems.Driver.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	if n.running {
+		n.mu.Unlock()
+		return nil
+	}
+	n.running = true
+	n.mu.Unlock()
+
+	for i, v := range n.validators {
+		// Gossip endpoints piggyback on the IBFT transport registration;
+		// use a dedicated endpoint per validator for tx gossip.
+		gossipID := gossipEndpoint(v.id)
+		v := v
+		n.transport.Register(gossipID, func(m network.Message) {
+			tx, ok := m.Payload.(*chain.Transaction)
+			if !ok {
+				return
+			}
+			n.admit(v, tx)
+		})
+		if err := v.engine.Start(); err != nil {
+			return fmt.Errorf("start validator %d: %w", i, err)
+		}
+	}
+	go n.produceLoop()
+	return nil
+}
+
+// Stop implements systems.Driver.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	n.mu.Unlock()
+	close(n.stop)
+	<-n.done
+	for _, v := range n.validators {
+		v.engine.Stop()
+		n.transport.Unregister(gossipEndpoint(v.id))
+	}
+	if n.ownTransport {
+		n.transport.Stop()
+	}
+}
+
+func gossipEndpoint(id string) string { return id + "-gossip" }
+
+// Submit implements systems.Driver: the transaction enters the entry
+// validator's pool and is gossiped to the others. Quorum's pool is
+// unbounded, so Submit never rejects — overload shows up later as the
+// livelock.
+func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return consensus.ErrNotRunning
+	}
+	n.mu.Unlock()
+
+	v := n.validators[entryNode%len(n.validators)]
+	n.admit(v, tx)
+	for _, other := range n.validators {
+		if other == v {
+			continue
+		}
+		_ = n.transport.Send(gossipEndpoint(v.id), gossipEndpoint(other.id), "quorum.tx", tx)
+	}
+	return nil
+}
+
+// admit adds a transaction to a validator's pool once.
+func (n *Network) admit(v *validator, tx *chain.Transaction) {
+	v.mu.Lock()
+	if v.seen[tx.ID] {
+		v.mu.Unlock()
+		return
+	}
+	v.seen[tx.ID] = true
+	v.mu.Unlock()
+	_ = v.pool.Add(tx)
+}
+
+// produceLoop forms a block every BlockPeriod on whichever validator is the
+// IBFT proposer, and evaluates the livelock condition.
+func (n *Network) produceLoop() {
+	defer close(n.done)
+	tick := n.cfg.Clock.NewTicker(n.cfg.BlockPeriod)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C():
+			for _, v := range n.validators {
+				if !v.engine.IsProposer() {
+					continue
+				}
+				n.produce(v)
+				break
+			}
+		}
+	}
+}
+
+func (n *Network) produce(v *validator) {
+	// Livelock latch: at a low block period under a deep backlog, the tx
+	// queue permanently stops being processed (paper §5.5). The node still
+	// participates in consensus and produces empty blocks.
+	v.mu.Lock()
+	if !v.stalled &&
+		n.cfg.StallBlockPeriod > 0 &&
+		n.cfg.BlockPeriod <= n.cfg.StallBlockPeriod &&
+		v.pool.Len() > n.cfg.StallQueueLimit {
+		v.stalled = true
+	}
+	stalled := v.stalled
+	v.mu.Unlock()
+
+	var txs []*chain.Transaction
+	if !stalled {
+		txs = v.pool.Take(n.cfg.MaxBlockTxs)
+	}
+	blk := producedBlock{Txs: txs, FormedAt: n.cfg.Clock.Now(), Producer: v.id}
+	if err := v.engine.Submit(blk); err != nil && !stalled {
+		// Requeue so the next period retries.
+		for _, tx := range txs {
+			_ = v.pool.Add(tx)
+		}
+	}
+}
+
+// makeDecideFunc builds the order-execute commit pipeline for validator v.
+func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
+	return func(d consensus.Decision) {
+		blk, ok := d.Payload.(producedBlock)
+		if !ok {
+			return
+		}
+		// Execute after ordering against this validator's own state; all
+		// validators execute identically in block order.
+		cb := chain.NewBlock(v.ledger.Head(), blk.Producer, blk.FormedAt, blk.Txs)
+		if err := v.ledger.Append(cb); err != nil {
+			return
+		}
+		now := n.cfg.Clock.Now()
+		for txNum, tx := range blk.Txs {
+			execErr := executeTx(tx, v.state, cb.Number, txNum)
+			// Drop from this validator's pool bookkeeping.
+			ev := systems.Event{
+				TxID:      tx.ID,
+				Client:    tx.Client,
+				Committed: true, // Ethereum includes failed txs in blocks
+				ValidOK:   execErr == nil,
+				OpCount:   tx.OpCount(),
+				BlockNum:  cb.Number,
+			}
+			if execErr != nil {
+				ev.Reason = execErr.Error()
+			}
+			n.hub.NodeCommitted(v.id, ev, now)
+		}
+		// Remove included txs from the local pool (they may still be queued
+		// on validators that did not produce the block).
+		n.scrubPool(v, blk.Txs)
+	}
+}
+
+// scrubPool removes included transactions from a validator's pending pool.
+func (n *Network) scrubPool(v *validator, included []*chain.Transaction) {
+	if len(included) == 0 {
+		return
+	}
+	ids := make(map[crypto.Hash]bool, len(included))
+	for _, tx := range included {
+		ids[tx.ID] = true
+	}
+	remaining := v.pool.Take(0)
+	for _, tx := range remaining {
+		if !ids[tx.ID] {
+			_ = v.pool.Add(tx)
+		}
+	}
+}
+
+// executeTx runs all operations of a transaction against the world state.
+func executeTx(tx *chain.Transaction, st *statestore.KVStore, blockNum uint64, txNum int) error {
+	ops := &kvAdapter{state: st, ver: statestore.Version{BlockNum: blockNum, TxNum: txNum}}
+	for _, op := range tx.Ops {
+		if err := iel.Execute(op, ops); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// kvAdapter adapts KVStore to iel.StateOps at a fixed version.
+type kvAdapter struct {
+	state *statestore.KVStore
+	ver   statestore.Version
+}
+
+var _ iel.StateOps = (*kvAdapter)(nil)
+
+func (a *kvAdapter) Get(key string) (string, bool) {
+	v, ok := a.state.Get(key)
+	return v.Value, ok
+}
+
+func (a *kvAdapter) Put(key, value string) { a.state.Set(key, value, a.ver) }
+
+// Stalled reports whether any validator has latched the livelock.
+func (n *Network) Stalled() bool {
+	for _, v := range n.validators {
+		v.mu.Lock()
+		s := v.stalled
+		v.mu.Unlock()
+		if s {
+			return true
+		}
+	}
+	return false
+}
+
+// Drained implements systems.Quiescer: every pool is empty, or the
+// livelock has latched (in which case the backlog will never drain and
+// waiting longer is pointless).
+func (n *Network) Drained() bool {
+	if n.Stalled() {
+		return true
+	}
+	for _, v := range n.validators {
+		if v.pool.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ChainHeight reports validator 0's block height.
+func (n *Network) ChainHeight() uint64 { return n.validators[0].ledger.Height() }
+
+// WorldState exposes validator i's state for test verification.
+func (n *Network) WorldState(i int) *statestore.KVStore {
+	return n.validators[i%len(n.validators)].state
+}
+
+// PoolDepth reports the deepest validator pool backlog.
+func (n *Network) PoolDepth() int {
+	depth := 0
+	for _, v := range n.validators {
+		if l := v.pool.Len(); l > depth {
+			depth = l
+		}
+	}
+	return depth
+}

@@ -1,0 +1,453 @@
+// Package sawtooth simulates Hyperledger Sawtooth 1.2.6 with the
+// sawtooth-pbft consensus engine as benchmarked in the paper: transactions
+// grouped into atomic batches, a bounded admission queue that rejects
+// submissions under load, and block publishing governed by
+// sawtooth.consensus.pbft.block_publishing_delay.
+//
+// Behaviours reproduced from the paper:
+//   - "the management of a queue that rejects new incoming transactions if
+//     the occupancy of the queue is too high. In this case, it is required
+//     to re-send the rejected transaction or the atomic batch" (§5.6) — the
+//     dominant source of Sawtooth's lost transactions. Submit returns
+//     mempool.ErrQueueFull so COCONUT can count the loss.
+//   - Atomic batches: "if a transaction fails within a batch, the entire
+//     batch ... is completely discarded" (§5.6). Discarded batches produce
+//     no client events at all.
+//   - block_publishing_delay ∈ {1, 2, 5, 10}s paces block creation
+//     (Table 6); adjusting it "does not reveal any significant difference".
+package sawtooth
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/consensus"
+	"github.com/coconut-bench/coconut/internal/consensus/pbft"
+	"github.com/coconut-bench/coconut/internal/crypto"
+	"github.com/coconut-bench/coconut/internal/iel"
+	"github.com/coconut-bench/coconut/internal/mempool"
+	"github.com/coconut-bench/coconut/internal/network"
+	"github.com/coconut-bench/coconut/internal/statestore"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// Config parameterizes a Sawtooth network.
+type Config struct {
+	// Validators is the network size (paper: 4).
+	Validators int
+	// BlockPublishingDelay paces block creation (paper default 1s).
+	BlockPublishingDelay time.Duration
+	// QueueDepth bounds each validator's batch admission queue; overflow
+	// rejects the batch back to the client.
+	QueueDepth int
+	// MaxBlockBatches caps batches per block.
+	MaxBlockBatches int
+	// PendingStallAtValidators, when positive, reproduces the paper's
+	// §5.8.2 finding for large networks: with 16 and 32 validators "all
+	// transactions remain in the pending state without being finalized".
+	// At or above this validator count, the primary stops publishing
+	// blocks. The upstream root cause is unknown; this models the
+	// observation.
+	PendingStallAtValidators int
+	// Transport carries all messages; nil creates a private fabric.
+	Transport *network.Transport
+	// Clock drives timers.
+	Clock clock.Clock
+}
+
+func (c *Config) fill() {
+	if c.Validators <= 0 {
+		c.Validators = 4
+	}
+	if c.BlockPublishingDelay <= 0 {
+		c.BlockPublishingDelay = time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxBlockBatches <= 0 {
+		c.MaxBlockBatches = 100
+	}
+	if c.Clock == nil {
+		c.Clock = clock.New()
+	}
+}
+
+// publishedBlock is the PBFT payload.
+type publishedBlock struct {
+	Batches     []*chain.Batch
+	PublishedAt time.Time
+	Publisher   string
+}
+
+// validator is one Sawtooth node.
+type validator struct {
+	id     string
+	engine *pbft.Engine
+	ledger *chain.Ledger
+	state  *statestore.KVStore
+	queue  *mempool.Pool[*chain.Batch]
+
+	mu   sync.Mutex
+	seen map[crypto.Hash]bool
+}
+
+// Network is a full Sawtooth deployment.
+type Network struct {
+	cfg Config
+
+	transport    *network.Transport
+	ownTransport bool
+	hub          *systems.Hub
+	validators   []*validator
+
+	mu      sync.Mutex
+	running bool
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+var _ systems.Driver = (*Network)(nil)
+
+// New assembles a Sawtooth network.
+func New(cfg Config) *Network {
+	cfg.fill()
+	n := &Network{
+		cfg:  cfg,
+		hub:  systems.NewHub(cfg.Validators),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.Transport == nil {
+		n.transport = network.NewTransport(cfg.Clock, nil)
+		n.ownTransport = true
+	} else {
+		n.transport = cfg.Transport
+	}
+
+	names := make([]string, cfg.Validators)
+	for i := range names {
+		names[i] = fmt.Sprintf("sawtooth-%d", i)
+	}
+	for i := 0; i < cfg.Validators; i++ {
+		v := &validator{
+			id:     names[i],
+			ledger: chain.NewLedger("sawtooth"),
+			state:  statestore.NewKVStore(),
+			queue:  mempool.NewBounded[*chain.Batch](cfg.QueueDepth),
+			seen:   make(map[crypto.Hash]bool),
+		}
+		v.engine = pbft.New(pbft.Config{
+			ID:        v.id,
+			Replicas:  names,
+			Transport: n.transport,
+			Clock:     cfg.Clock,
+			OnDecide:  n.makeDecideFunc(v),
+			Digest: func(p any) crypto.Hash {
+				blk, ok := p.(publishedBlock)
+				if !ok {
+					return crypto.SumString(fmt.Sprintf("%v", p))
+				}
+				leaves := make([]crypto.Hash, len(blk.Batches))
+				for i, b := range blk.Batches {
+					leaves[i] = b.ID
+				}
+				return crypto.Sum(crypto.MerkleRoot(leaves).Bytes(), []byte(blk.Publisher),
+					crypto.Uint64Bytes(uint64(blk.PublishedAt.UnixNano())))
+			},
+		})
+		n.validators = append(n.validators, v)
+	}
+	return n
+}
+
+// Name implements systems.Driver.
+func (n *Network) Name() string { return systems.NameSawtooth }
+
+// NodeCount implements systems.Driver.
+func (n *Network) NodeCount() int { return n.cfg.Validators }
+
+// Subscribe implements systems.Driver.
+func (n *Network) Subscribe(client string, fn systems.EventFunc) { n.hub.Subscribe(client, fn) }
+
+// Start implements systems.Driver.
+func (n *Network) Start() error {
+	n.mu.Lock()
+	if n.running {
+		n.mu.Unlock()
+		return nil
+	}
+	n.running = true
+	n.mu.Unlock()
+
+	for i, v := range n.validators {
+		v := v
+		n.transport.Register(gossipEndpoint(v.id), func(m network.Message) {
+			b, ok := m.Payload.(*chain.Batch)
+			if !ok {
+				return
+			}
+			n.admitGossip(v, b)
+		})
+		if err := v.engine.Start(); err != nil {
+			return fmt.Errorf("start validator %d: %w", i, err)
+		}
+	}
+	go n.publishLoop()
+	return nil
+}
+
+// Stop implements systems.Driver.
+func (n *Network) Stop() {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return
+	}
+	n.running = false
+	n.mu.Unlock()
+	close(n.stop)
+	<-n.done
+	for _, v := range n.validators {
+		v.engine.Stop()
+		n.transport.Unregister(gossipEndpoint(v.id))
+	}
+	if n.ownTransport {
+		n.transport.Stop()
+	}
+}
+
+func gossipEndpoint(id string) string { return id + "-gossip" }
+
+// Submit implements systems.Driver for single transactions: it wraps the
+// transaction in a one-element batch. Use SubmitBatch for multi-transaction
+// atomic batches.
+func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
+	return n.SubmitBatch(entryNode, chain.NewBatch(tx))
+}
+
+// SubmitBatch admits an atomic batch at the entry validator. A full queue
+// rejects with mempool.ErrQueueFull; the caller must re-send (or, as the
+// paper's clients do, count the batch as lost).
+func (n *Network) SubmitBatch(entryNode int, b *chain.Batch) error {
+	n.mu.Lock()
+	if !n.running {
+		n.mu.Unlock()
+		return consensus.ErrNotRunning
+	}
+	n.mu.Unlock()
+
+	v := n.validators[entryNode%len(n.validators)]
+	v.mu.Lock()
+	if v.seen[b.ID] {
+		v.mu.Unlock()
+		return nil
+	}
+	v.mu.Unlock()
+	if err := v.queue.Add(b); err != nil {
+		return err // backpressure: rejected, client must re-send
+	}
+	v.mu.Lock()
+	v.seen[b.ID] = true
+	v.mu.Unlock()
+	// Gossip to the other validators so the PBFT primary can publish it.
+	for _, other := range n.validators {
+		if other == v {
+			continue
+		}
+		_ = n.transport.Send(gossipEndpoint(v.id), gossipEndpoint(other.id), "sawtooth.batch", b)
+	}
+	return nil
+}
+
+// admitGossip adds gossiped batches without backpressure errors (peer
+// validators drop silently on overflow, as the real gossip layer does).
+func (n *Network) admitGossip(v *validator, b *chain.Batch) {
+	v.mu.Lock()
+	if v.seen[b.ID] {
+		v.mu.Unlock()
+		return
+	}
+	v.seen[b.ID] = true
+	v.mu.Unlock()
+	_ = v.queue.Add(b)
+}
+
+// publishLoop publishes a block every BlockPublishingDelay on the PBFT
+// primary.
+func (n *Network) publishLoop() {
+	defer close(n.done)
+	tick := n.cfg.Clock.NewTicker(n.cfg.BlockPublishingDelay)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-tick.C():
+			if n.cfg.PendingStallAtValidators > 0 &&
+				n.cfg.Validators >= n.cfg.PendingStallAtValidators {
+				continue // transactions stay pending, never finalized
+			}
+			for _, v := range n.validators {
+				if !v.engine.IsPrimary() {
+					continue
+				}
+				batches := v.queue.Take(n.cfg.MaxBlockBatches)
+				if len(batches) == 0 {
+					break
+				}
+				blk := publishedBlock{
+					Batches:     batches,
+					PublishedAt: n.cfg.Clock.Now(),
+					Publisher:   v.id,
+				}
+				if err := v.engine.Submit(blk); err != nil {
+					for _, b := range batches {
+						_ = v.queue.Add(b)
+					}
+				}
+				break
+			}
+		}
+	}
+}
+
+// makeDecideFunc builds the commit pipeline for one validator: batches
+// execute atomically; a failing batch is discarded entirely and its
+// transactions produce no events (lost end to end).
+func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
+	return func(d consensus.Decision) {
+		blk, ok := d.Payload.(publishedBlock)
+		if !ok {
+			return
+		}
+		// Dry-run each batch against a shadow to enforce atomicity, then
+		// apply the survivors.
+		var surviving []*chain.Transaction
+		var survivingBatches []*chain.Batch
+		for _, b := range blk.Batches {
+			if batchExecutes(b, v.state) {
+				surviving = append(surviving, b.Txs...)
+				survivingBatches = append(survivingBatches, b)
+			}
+		}
+		cb := chain.NewBlock(v.ledger.Head(), blk.Publisher, blk.PublishedAt, surviving)
+		if err := v.ledger.Append(cb); err != nil {
+			return
+		}
+		now := n.cfg.Clock.Now()
+		for txNum, batch := range survivingBatches {
+			for _, tx := range batch.Txs {
+				applyTx(tx, v.state, cb.Number, txNum)
+				n.hub.NodeCommitted(v.id, systems.Event{
+					TxID:      tx.ID,
+					Client:    tx.Client,
+					Committed: true,
+					ValidOK:   true,
+					OpCount:   tx.OpCount(),
+					BlockNum:  cb.Number,
+				}, now)
+			}
+		}
+		n.scrubQueue(v, blk.Batches)
+	}
+}
+
+// batchExecutes dry-runs a batch against a copy-on-read overlay of the
+// state and reports whether every member transaction succeeds.
+func batchExecutes(b *chain.Batch, st *statestore.KVStore) bool {
+	overlay := &overlayState{base: st, writes: make(map[string]string)}
+	for _, tx := range b.Txs {
+		for _, op := range tx.Ops {
+			if err := iel.Execute(op, overlay); err != nil {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// applyTx commits a transaction's writes to the world state.
+func applyTx(tx *chain.Transaction, st *statestore.KVStore, blockNum uint64, txNum int) {
+	a := &kvAdapter{state: st, ver: statestore.Version{BlockNum: blockNum, TxNum: txNum}}
+	for _, op := range tx.Ops {
+		_ = iel.Execute(op, a)
+	}
+}
+
+// scrubQueue removes published batches from a validator's queue.
+func (n *Network) scrubQueue(v *validator, published []*chain.Batch) {
+	ids := make(map[crypto.Hash]bool, len(published))
+	for _, b := range published {
+		ids[b.ID] = true
+	}
+	for _, b := range v.queue.Take(0) {
+		if !ids[b.ID] {
+			_ = v.queue.Add(b)
+		}
+	}
+}
+
+// overlayState reads through to the base store but keeps writes local.
+type overlayState struct {
+	base   *statestore.KVStore
+	writes map[string]string
+}
+
+var _ iel.StateOps = (*overlayState)(nil)
+
+func (o *overlayState) Get(key string) (string, bool) {
+	if v, ok := o.writes[key]; ok {
+		return v, true
+	}
+	v, ok := o.base.Get(key)
+	return v.Value, ok
+}
+
+func (o *overlayState) Put(key, value string) { o.writes[key] = value }
+
+// kvAdapter adapts KVStore to iel.StateOps at a fixed version.
+type kvAdapter struct {
+	state *statestore.KVStore
+	ver   statestore.Version
+}
+
+var _ iel.StateOps = (*kvAdapter)(nil)
+
+func (a *kvAdapter) Get(key string) (string, bool) {
+	v, ok := a.state.Get(key)
+	return v.Value, ok
+}
+
+func (a *kvAdapter) Put(key, value string) { a.state.Set(key, value, a.ver) }
+
+// Drained implements systems.Quiescer: all validator queues are empty.
+func (n *Network) Drained() bool {
+	for _, v := range n.validators {
+		if v.queue.Len() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// QueueStats aggregates admission counters across validators.
+func (n *Network) QueueStats() (admitted, rejected uint64) {
+	for _, v := range n.validators {
+		a, r := v.queue.Stats()
+		admitted += a
+		rejected += r
+	}
+	return admitted, rejected
+}
+
+// ChainHeight reports validator 0's block height.
+func (n *Network) ChainHeight() uint64 { return n.validators[0].ledger.Height() }
+
+// WorldState exposes validator i's state.
+func (n *Network) WorldState(i int) *statestore.KVStore {
+	return n.validators[i%len(n.validators)].state
+}

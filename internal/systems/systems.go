@@ -1,0 +1,84 @@
+// Package systems defines the contract between the COCONUT benchmarking
+// framework and the seven simulated blockchain systems, plus the shared
+// commit-tracking hub that implements the paper's end-to-end semantics: "a
+// transaction is not considered complete until the transaction has been
+// persisted in all participating blockchain nodes" (§4.5).
+package systems
+
+import (
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/crypto"
+)
+
+// Event is the finalization notification delivered to a COCONUT client once
+// a transaction has been persisted on every node.
+type Event struct {
+	// TxID identifies the finalized transaction.
+	TxID crypto.Hash
+	// Client is the submitting client's endpoint name.
+	Client string
+	// Committed reports whether the transaction was appended/persisted.
+	// Fabric appends MVCC-failed transactions with Committed=true and
+	// ValidOK=false, matching the paper's counting rules (§5.4).
+	Committed bool
+	// ValidOK reports whether execution/validation succeeded.
+	ValidOK bool
+	// Reason carries the failure cause when ValidOK is false.
+	Reason string
+	// OpCount is the number of operations the transaction carried; the
+	// paper counts each BitShares operation as one transaction (§4.5).
+	OpCount int
+	// BlockNum is the containing block height (0 for blockless Corda).
+	BlockNum uint64
+	// FinalizedAt is when the last node persisted the transaction.
+	FinalizedAt time.Time
+}
+
+// EventFunc receives finalization events. Callbacks run on system
+// goroutines and must return promptly.
+type EventFunc func(Event)
+
+// Driver is the Blockchain Access Layer's view of a system under test. One
+// Driver instance represents a freshly provisioned network, matching the
+// paper's re-provisioning between benchmark units (§4.1).
+type Driver interface {
+	// Name returns the system's display name (e.g. "Fabric", "Corda OS").
+	Name() string
+	// Start boots all nodes and auxiliary components.
+	Start() error
+	// Stop tears the network down and waits for goroutines to exit.
+	Stop()
+	// Submit sends one transaction into the system through the given entry
+	// node index (clients spread across servers, §4.3). A non-nil error is
+	// an admission rejection; the transaction is lost unless re-sent.
+	Submit(entryNode int, tx *chain.Transaction) error
+	// Subscribe registers the finalization listener for a client name.
+	Subscribe(client string, fn EventFunc)
+	// NodeCount reports the network size (for scalability experiments).
+	NodeCount() int
+}
+
+// Quiescer is optionally implemented by drivers whose admission queues can
+// hold work across benchmark phases (Sawtooth batches, Quorum pools). The
+// runner waits for quiescence between unit members, mirroring the paper's
+// inter-benchmark gap (clients terminate at 420s, 90s after listening
+// stops, §4.3).
+type Quiescer interface {
+	// Drained reports whether no submitted work remains unprocessed.
+	Drained() bool
+}
+
+// Registry of canonical system names used in reports.
+const (
+	NameCordaOS   = "Corda OS"
+	NameCordaEnt  = "Corda Enterprise"
+	NameBitShares = "BitShares"
+	NameFabric    = "Fabric"
+	NameQuorum    = "Quorum"
+	NameSawtooth  = "Sawtooth"
+	NameDiem      = "Diem"
+)
+
+var _ = chain.TxPending // keep chain linkage explicit for documentation
