@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/experiments"
 )
 
@@ -38,13 +39,18 @@ func run() error {
 		sendSec   = flag.Float64("send", 300, "sending window in paper seconds")
 		reps      = flag.Int("reps", 1, "repetitions (the paper uses 3)")
 		seed      = flag.Int64("seed", 42, "deterministic seed")
+		arrival   = flag.String("arrival", "uniform", "client arrival schedule: uniform, poisson, or burst[:N]")
 	)
 	flag.Parse()
 
+	if _, err := coconut.ArrivalByName(*arrival); err != nil {
+		return err
+	}
 	opts := experiments.Options{
 		Scale:       *scale,
 		SendSeconds: *sendSec,
 		Repetitions: *reps,
+		Arrival:     *arrival,
 		Seed:        *seed,
 	}
 

@@ -1,0 +1,3 @@
+module github.com/coconut-bench/coconut
+
+go 1.21

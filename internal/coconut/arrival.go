@@ -1,0 +1,105 @@
+package coconut
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ArrivalSchedule shapes a client's traffic in time. The paper's COCONUT
+// clients pace uniformly at the rate limit (§4.4); alternative schedules
+// keep the same long-run rate but change the arrival process — Poisson for
+// open-loop user traffic, bursts for flash-crowd load — so queueing and
+// latency behaviour under realistic traffic shapes becomes a one-line
+// configuration change.
+type ArrivalSchedule interface {
+	// Name identifies the schedule in reports and flags.
+	Name() string
+	// Gaps returns a stateful generator of successive inter-send gaps whose
+	// long-run mean equals mean (one gap per transaction or batch send).
+	// A generator is driven by a single pacer goroutine; it need not be
+	// safe for concurrent use.
+	Gaps(mean time.Duration, seed int64) func() time.Duration
+}
+
+// UniformArrival reproduces the paper's rate limiter: every gap equals the
+// mean, so load is perfectly smooth. It is the default.
+type UniformArrival struct{}
+
+// Name implements ArrivalSchedule.
+func (UniformArrival) Name() string { return "uniform" }
+
+// Gaps implements ArrivalSchedule.
+func (UniformArrival) Gaps(mean time.Duration, _ int64) func() time.Duration {
+	return func() time.Duration { return mean }
+}
+
+// PoissonArrival models an open-loop population of independent users:
+// inter-send gaps are exponentially distributed, so instantaneous load
+// fluctuates while the long-run rate matches the configured limit.
+type PoissonArrival struct{}
+
+// Name implements ArrivalSchedule.
+func (PoissonArrival) Name() string { return "poisson" }
+
+// Gaps implements ArrivalSchedule.
+func (PoissonArrival) Gaps(mean time.Duration, seed int64) func() time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return func() time.Duration {
+		return time.Duration(rng.ExpFloat64() * float64(mean))
+	}
+}
+
+// BurstArrival sends Size transactions back to back, then idles long enough
+// to preserve the mean rate — a square-wave load that stresses admission
+// queues and block cutters far harder than its average suggests.
+type BurstArrival struct {
+	// Size is the number of sends per burst (default 10).
+	Size int
+}
+
+// Name implements ArrivalSchedule.
+func (b BurstArrival) Name() string { return fmt.Sprintf("burst:%d", b.size()) }
+
+func (b BurstArrival) size() int {
+	if b.Size < 2 {
+		return 10
+	}
+	return b.Size
+}
+
+// Gaps implements ArrivalSchedule.
+func (b BurstArrival) Gaps(mean time.Duration, _ int64) func() time.Duration {
+	size := b.size()
+	n := 0
+	return func() time.Duration {
+		n++
+		if n%size == 0 {
+			return time.Duration(size) * mean
+		}
+		return 0
+	}
+}
+
+// ArrivalByName parses a schedule name: "uniform", "poisson", "burst", or
+// "burst:N" for a burst of N sends.
+func ArrivalByName(name string) (ArrivalSchedule, error) {
+	switch {
+	case name == "" || name == "uniform":
+		return UniformArrival{}, nil
+	case name == "poisson":
+		return PoissonArrival{}, nil
+	case name == "burst":
+		return BurstArrival{}, nil
+	case strings.HasPrefix(name, "burst:"):
+		n, err := strconv.Atoi(strings.TrimPrefix(name, "burst:"))
+		if err != nil || n < 2 {
+			return nil, fmt.Errorf("coconut: bad burst size in %q (want burst:N, N >= 2)", name)
+		}
+		return BurstArrival{Size: n}, nil
+	default:
+		return nil, fmt.Errorf("coconut: unknown arrival schedule %q (want uniform, poisson, or burst[:N])", name)
+	}
+}

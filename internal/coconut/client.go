@@ -1,8 +1,10 @@
 package coconut
 
 import (
+	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/chain"
@@ -33,6 +35,11 @@ type ClientConfig struct {
 	// RateLimit is the maximum payloads per second this client sends — the
 	// paper's RL parameter (§4.4).
 	RateLimit int
+	// Arrival shapes the inter-send gaps at the configured rate; nil means
+	// the paper's uniform pacing.
+	Arrival ArrivalSchedule
+	// ArrivalSeed drives randomized schedules (Poisson) deterministically.
+	ArrivalSeed int64
 	// WorkloadThreads is the number of concurrent senders (paper: 16).
 	WorkloadThreads int
 	// OpsPerTx packs several operations into one transaction (BitShares:
@@ -50,6 +57,11 @@ type ClientConfig struct {
 	// ReadMax, when non-zero, wraps generated indices so read benchmarks
 	// target keys the preceding write phase actually sent (per thread).
 	ReadMax []uint64
+	// DiscardRecords drops each TxRecord as soon as it is finalized (or at
+	// phase end if it never is), keeping client memory bounded by the
+	// in-flight window instead of the whole run; metrics then come from
+	// Summary's online counters and histogram, and Run returns nil.
+	DiscardRecords bool
 	// Clock is the time source.
 	Clock clock.Clock
 }
@@ -57,6 +69,9 @@ type ClientConfig struct {
 func (c *ClientConfig) fill() {
 	if c.RateLimit <= 0 {
 		c.RateLimit = 50
+	}
+	if c.Arrival == nil {
+		c.Arrival = UniformArrival{}
 	}
 	if c.WorkloadThreads <= 0 {
 		c.WorkloadThreads = 16
@@ -78,15 +93,47 @@ func (c *ClientConfig) fill() {
 	}
 }
 
+// inflightShards is the number of lock domains of the client's in-flight
+// transaction index; event deliveries for distinct transactions contend
+// only within a tx-hash-prefix shard.
+const inflightShards = 16
+
+type inflightShard struct {
+	mu sync.Mutex
+	m  map[crypto.Hash]*TxRecord
+	_  [48]byte // pad to one 64-byte cache line
+}
+
+// clientThread is the per-workload-thread state. The records buffer is
+// owned by its sending goroutine (appends are lock-free) and only read
+// after every sender has exited; the counters are updated atomically from
+// event goroutines.
+type clientThread struct {
+	records  []*TxRecord
+	sent     atomic.Uint64
+	received atomic.Uint64
+}
+
 // Client is one COCONUT client application: it drives the workload threads,
-// rate-limits sends, and collects finalization notifications.
+// paces sends according to the arrival schedule, and streams finalization
+// notifications into per-thread buffers and an online latency histogram.
 type Client struct {
 	cfg ClientConfig
 
-	mu      sync.Mutex
-	records map[crypto.Hash]*TxRecord
-	sent    []uint64 // per-thread payload indices consumed
-	seq     uint64
+	seq     atomic.Uint64
+	closed  atomic.Bool
+	shards  [inflightShards]inflightShard
+	threads []clientThread
+	hist    *LatencyHist
+
+	// Online repetition summary, streamed as sends and events happen so
+	// phase-end aggregation never walks the full record set.
+	expectedOps  atomic.Int64
+	receivedOps  atomic.Int64
+	latencySumNs atomic.Int64
+	latencyN     atomic.Int64
+	firstSendNs  atomic.Int64 // math.MaxInt64 until the first send
+	lastRecvNs   atomic.Int64 // math.MinInt64 until the first receipt
 }
 
 // NewClient builds a client; Subscribe must happen before the system starts
@@ -95,60 +142,101 @@ func NewClient(cfg ClientConfig) *Client {
 	cfg.fill()
 	c := &Client{
 		cfg:     cfg,
-		records: make(map[crypto.Hash]*TxRecord),
-		sent:    make([]uint64, cfg.WorkloadThreads),
+		threads: make([]clientThread, cfg.WorkloadThreads),
+		hist:    NewLatencyHist(),
 	}
+	for i := range c.shards {
+		c.shards[i].m = make(map[crypto.Hash]*TxRecord)
+	}
+	c.firstSendNs.Store(math.MaxInt64)
+	c.lastRecvNs.Store(math.MinInt64)
 	cfg.Driver.Subscribe(cfg.ID, c.onEvent)
 	return c
 }
 
-// onEvent records a finalization notification (the paper's T3).
+func (c *Client) shardFor(id crypto.Hash) *inflightShard {
+	return &c.shards[id[0]&(inflightShards-1)]
+}
+
+// onEvent records a finalization notification (the paper's T3) and streams
+// it out of the in-flight index: the record's summary contribution is
+// folded in immediately and the index entry is dropped, so the index size
+// tracks outstanding transactions, not run length.
 func (c *Client) onEvent(ev systems.Event) {
-	now := c.cfg.Clock.Now()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	rec, ok := c.records[ev.TxID]
-	if !ok || rec.Received {
+	if c.closed.Load() {
 		return
 	}
+	now := c.cfg.Clock.Now()
+	s := c.shardFor(ev.TxID)
+	s.mu.Lock()
+	rec, ok := s.m[ev.TxID]
+	if !ok {
+		// Unknown or already-finalized transaction: drop.
+		s.mu.Unlock()
+		return
+	}
+	delete(s.m, ev.TxID)
 	rec.Received = true
 	rec.ValidOK = ev.ValidOK
 	rec.End = now
+	fls := rec.FLS()
+	// The summary contribution is folded in before the shard lock is
+	// released: detach serializes on these locks, so once it completes no
+	// received event can be missing from the online counters.
+	c.receivedOps.Add(int64(rec.Ops))
+	c.latencySumNs.Add(int64(fls))
+	c.latencyN.Add(1)
+	atomicMax(&c.lastRecvNs, now.UnixNano())
+	c.hist.Observe(fls)
+	if rec.Thread >= 0 && rec.Thread < len(c.threads) {
+		c.threads[rec.Thread].received.Add(uint64(rec.Ops))
+	}
+	s.mu.Unlock()
 }
 
 // Run executes the send and listen phases, blocking until both complete,
-// and returns every transaction record.
+// and returns every transaction record (nil when DiscardRecords is set).
 func (c *Client) Run() []TxRecord {
 	stopSend := make(chan struct{})
 	var wg sync.WaitGroup
 
 	// Shared pacer: each token permits sending one transaction or batch,
 	// which accounts for OpsPerTx*BatchSize payloads against the rate
-	// limiter.
+	// limit. The arrival schedule shapes the gap sequence; uniform gaps
+	// reproduce the paper's rate limiter.
 	payloadsPerSend := c.cfg.OpsPerTx * c.cfg.BatchSize
 	interval := time.Duration(float64(time.Second) * float64(payloadsPerSend) / float64(c.cfg.RateLimit))
 	if interval <= 0 {
 		interval = time.Microsecond
 	}
+	gaps := c.cfg.Arrival.Gaps(interval, c.cfg.ArrivalSeed)
 	tokens := make(chan struct{}, 1)
 	// Warm start: the first send happens immediately (the paper's threads
-	// start sending at t=0), then the pacer enforces the rate.
+	// start sending at t=0), then the pacer enforces the schedule.
 	tokens <- struct{}{}
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		tick := c.cfg.Clock.NewTicker(interval)
-		defer tick.Stop()
 		for {
-			select {
-			case <-stopSend:
-				return
-			case <-tick.C():
+			if g := gaps(); g > 0 {
+				t := c.cfg.Clock.NewTimer(g)
 				select {
-				case tokens <- struct{}{}:
+				case <-stopSend:
+					t.Stop()
+					return
+				case <-t.C():
+				}
+			} else {
+				select {
 				case <-stopSend:
 					return
+				default:
 				}
+			}
+			select {
+			case tokens <- struct{}{}:
+			case <-stopSend:
+				return
 			}
 		}
 	}()
@@ -166,14 +254,54 @@ func (c *Client) Run() []TxRecord {
 	close(stopSend)
 	wg.Wait()
 	c.cfg.Clock.Sleep(c.cfg.ListenGrace)
+	c.detach()
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]TxRecord, 0, len(c.records))
-	for _, rec := range c.records {
-		out = append(out, *rec)
+	if c.cfg.DiscardRecords {
+		return nil
+	}
+	total := 0
+	for i := range c.threads {
+		total += len(c.threads[i].records)
+	}
+	out := make([]TxRecord, 0, total)
+	for i := range c.threads {
+		for _, rec := range c.threads[i].records {
+			out = append(out, *rec)
+		}
 	}
 	return out
+}
+
+// detach ends the listening phase: it closes the event path and clears the
+// in-flight index under every shard lock, so no event goroutine can touch a
+// record after this returns and the per-thread buffers can be read without
+// synchronization.
+func (c *Client) detach() {
+	c.closed.Store(true)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[crypto.Hash]*TxRecord)
+		s.mu.Unlock()
+	}
+}
+
+// Summary returns the client's online phase aggregation; call after Run.
+func (c *Client) Summary() ClientSummary {
+	s := ClientSummary{
+		ExpectedNoT: int(c.expectedOps.Load()),
+		ReceivedNoT: int(c.receivedOps.Load()),
+		LatencySum:  time.Duration(c.latencySumNs.Load()),
+		LatencyN:    int(c.latencyN.Load()),
+		Hist:        c.hist,
+	}
+	if first := c.firstSendNs.Load(); first != math.MaxInt64 {
+		s.FirstSend = time.Unix(0, first)
+	}
+	if last := c.lastRecvNs.Load(); last != math.MinInt64 {
+		s.LastRecv = time.Unix(0, last)
+	}
+	return s
 }
 
 // workloadThread sends transactions sequentially without waiting for
@@ -224,11 +352,7 @@ func (c *Client) sendTx(thread int, gen OpGen, idx *uint64, readMax uint64) {
 	for i := range ops {
 		ops[i] = gen(nextIndex(idx, readMax))
 	}
-	c.mu.Lock()
-	c.seq++
-	seq := c.seq
-	c.mu.Unlock()
-	tx := chain.NewTransaction(c.cfg.ID, seq, ops...)
+	tx := chain.NewTransaction(c.cfg.ID, c.seq.Add(1), ops...)
 
 	start := c.cfg.Clock.Now()
 	tx.SubmittedAt = start
@@ -242,7 +366,7 @@ func (c *Client) sendTx(thread int, gen OpGen, idx *uint64, readMax uint64) {
 		*idx -= uint64(len(ops))
 		return
 	}
-	c.countSent(thread, len(ops))
+	c.threads[thread].sent.Add(uint64(len(ops)))
 }
 
 func (c *Client) sendBatch(thread int, gen OpGen, idx *uint64, readMax uint64) {
@@ -251,11 +375,7 @@ func (c *Client) sendBatch(thread int, gen OpGen, idx *uint64, readMax uint64) {
 	start := c.cfg.Clock.Now()
 	for i := range txs {
 		op := gen(nextIndex(idx, readMax))
-		c.mu.Lock()
-		c.seq++
-		seq := c.seq
-		c.mu.Unlock()
-		txs[i] = chain.NewSingleOp(c.cfg.ID, seq, op.IEL, op.Function, op.Args...)
+		txs[i] = chain.NewSingleOp(c.cfg.ID, c.seq.Add(1), op.IEL, op.Function, op.Args...)
 		txs[i].SubmittedAt = start
 		c.track(txs[i].ID, start, 1, thread)
 	}
@@ -266,37 +386,39 @@ func (c *Client) sendBatch(thread int, gen OpGen, idx *uint64, readMax uint64) {
 			*idx -= uint64(len(txs))
 			return
 		}
-		c.countSent(thread, len(txs))
+		c.threads[thread].sent.Add(uint64(len(txs)))
 		return
 	}
 	// Driver without batch support: degrade to individual sends.
 	for _, tx := range txs {
 		if err := c.cfg.Driver.Submit(c.cfg.EntryNode, tx); err == nil {
-			c.countSent(thread, 1)
+			c.threads[thread].sent.Add(1)
 		}
 	}
 }
 
+// track registers a record in the in-flight index (and, unless records are
+// discarded, the owning thread's buffer) before submission, so the
+// finalization event can never outrun its record.
 func (c *Client) track(id crypto.Hash, start time.Time, ops, thread int) {
-	c.mu.Lock()
-	c.records[id] = &TxRecord{Start: start, Ops: ops, Thread: thread}
-	c.mu.Unlock()
-}
-
-// countSent advances the per-thread accepted-payload counter, which bounds
-// dependent read phases via ReadMax.
-func (c *Client) countSent(thread, ops int) {
-	c.mu.Lock()
-	c.sent[thread] += uint64(ops)
-	c.mu.Unlock()
+	rec := &TxRecord{Start: start, Ops: ops, Thread: thread}
+	s := c.shardFor(id)
+	s.mu.Lock()
+	s.m[id] = rec
+	s.mu.Unlock()
+	if !c.cfg.DiscardRecords {
+		c.threads[thread].records = append(c.threads[thread].records, rec)
+	}
+	c.expectedOps.Add(int64(ops))
+	atomicMin(&c.firstSendNs, start.UnixNano())
 }
 
 // SentCounts returns the per-thread payload counts accepted so far.
 func (c *Client) SentCounts() []uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]uint64, len(c.sent))
-	copy(out, c.sent)
+	out := make([]uint64, len(c.threads))
+	for i := range c.threads {
+		out[i] = c.threads[i].sent.Load()
+	}
 	return out
 }
 
@@ -305,13 +427,27 @@ func (c *Client) SentCounts() []uint64 {
 // thread's key space is contiguous — the runner feeds these counts into
 // dependent read phases as ReadMax.
 func (c *Client) ReceivedCounts() []uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]uint64, c.cfg.WorkloadThreads)
-	for _, rec := range c.records {
-		if rec.Received && rec.Thread < len(out) {
-			out[rec.Thread] += uint64(rec.Ops)
-		}
+	out := make([]uint64, len(c.threads))
+	for i := range c.threads {
+		out[i] = c.threads[i].received.Load()
 	}
 	return out
+}
+
+func atomicMin(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur <= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }

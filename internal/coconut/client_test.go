@@ -263,6 +263,81 @@ func TestClientSentCountsMatchRecords(t *testing.T) {
 	}
 }
 
+// TestClientSummaryMatchesRecords checks the online streamed summary agrees
+// with the record-slice metrics path.
+func TestClientSummaryMatchesRecords(t *testing.T) {
+	d := newFakeDriver()
+	d.confirm = func(tx *chain.Transaction) bool { return tx.Seq%3 != 0 }
+	c := NewClient(ClientConfig{
+		ID:              "c0",
+		Driver:          d,
+		Benchmark:       BenchKeyValueSet,
+		RateLimit:       500,
+		WorkloadThreads: 3,
+		SendDuration:    200 * time.Millisecond,
+		ListenGrace:     30 * time.Millisecond,
+	})
+	records := c.Run()
+	want := ComputeRepetition(records)
+	got := CombineSummaries([]ClientSummary{c.Summary()})
+	if got.ExpectedNoT != want.ExpectedNoT || got.ReceivedNoT != want.ReceivedNoT {
+		t.Fatalf("NoT: summary %d/%d, records %d/%d",
+			got.ReceivedNoT, got.ExpectedNoT, want.ReceivedNoT, want.ExpectedNoT)
+	}
+	if want.FLS > 0 && (got.FLS <= 0 || got.FLS/want.FLS > 1.01 || want.FLS/got.FLS > 1.01) {
+		t.Fatalf("FLS: summary %v, records %v", got.FLS, want.FLS)
+	}
+	if want.DurationSec > 0 && got.DurationSec <= 0 {
+		t.Fatal("summary lost the duration window")
+	}
+}
+
+// TestClientDiscardRecordsKeepsOnlineMetrics checks the bounded-memory mode:
+// no records are returned, yet the streamed summary and per-thread counters
+// still carry the full accounting.
+func TestClientDiscardRecordsKeepsOnlineMetrics(t *testing.T) {
+	d := newFakeDriver()
+	c := NewClient(ClientConfig{
+		ID:              "c0",
+		Driver:          d,
+		Benchmark:       BenchDoNothing,
+		RateLimit:       500,
+		WorkloadThreads: 2,
+		SendDuration:    150 * time.Millisecond,
+		ListenGrace:     20 * time.Millisecond,
+		DiscardRecords:  true,
+	})
+	records := c.Run()
+	if records != nil {
+		t.Fatalf("DiscardRecords returned %d records, want nil", len(records))
+	}
+	sum := c.Summary()
+	if sum.ExpectedNoT == 0 || sum.ReceivedNoT == 0 {
+		t.Fatalf("summary empty: %+v", sum)
+	}
+	if sum.ReceivedNoT != sum.ExpectedNoT {
+		t.Fatalf("fake driver confirms everything, yet %d/%d received",
+			sum.ReceivedNoT, sum.ExpectedNoT)
+	}
+	if sum.Hist == nil || sum.Hist.Count() == 0 {
+		t.Fatal("latency histogram not streamed")
+	}
+	var received uint64
+	for _, n := range c.ReceivedCounts() {
+		received += n
+	}
+	if int(received) != sum.ReceivedNoT {
+		t.Fatalf("per-thread received = %d, summary = %d", received, sum.ReceivedNoT)
+	}
+	// The in-flight index must be empty after the phase: memory is bounded
+	// by outstanding transactions, not run length.
+	for i := range c.shards {
+		if n := len(c.shards[i].m); n != 0 {
+			t.Fatalf("shard %d still holds %d records after detach", i, n)
+		}
+	}
+}
+
 func TestClientIgnoresUnknownEvents(t *testing.T) {
 	d := newFakeDriver()
 	c := NewClient(ClientConfig{

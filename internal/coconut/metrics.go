@@ -10,6 +10,8 @@ package coconut
 import (
 	"fmt"
 	"math"
+	"math/bits"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +43,98 @@ func (r TxRecord) FLS() time.Duration {
 	return r.End.Sub(r.Start)
 }
 
+// LatencyHist is an online finalization-latency histogram with logarithmic
+// buckets: histSubCount linear sub-buckets per power-of-two octave, giving
+// a bounded relative error of 1/histSubCount (~3%) over the full duration
+// range. Observations and merges use atomics, so system event goroutines
+// stream latencies into it concurrently without a lock, and percentiles
+// come from a bucket walk instead of sorting the full record set.
+type LatencyHist struct {
+	counts [histBuckets]atomic.Uint64
+	total  atomic.Uint64
+}
+
+const (
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	// histBuckets covers every non-negative int64 nanosecond duration:
+	// values below histSubCount are exact, each further octave adds
+	// histSubCount sub-buckets.
+	histBuckets = (64 - histSubBits) * histSubCount
+)
+
+// histIndex maps a nanosecond value to its bucket.
+func histIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	shift := bits.Len64(v) - 1 - histSubBits
+	return (shift+1)<<histSubBits | int((v>>shift)&(histSubCount-1))
+}
+
+// histValue returns the representative (midpoint) nanosecond value of a
+// bucket.
+func histValue(idx int) uint64 {
+	if idx < histSubCount {
+		return uint64(idx)
+	}
+	shift := idx>>histSubBits - 1
+	low := (histSubCount + uint64(idx&(histSubCount-1))) << shift
+	return low + (1<<shift)/2
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+
+// Observe streams one latency sample into the histogram.
+func (h *LatencyHist) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.counts[histIndex(uint64(d))].Add(1)
+	h.total.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *LatencyHist) Count() uint64 { return h.total.Load() }
+
+// Merge folds other's observations into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	if other == nil {
+		return
+	}
+	for i := range other.counts {
+		if n := other.counts[i].Load(); n > 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.total.Add(other.total.Load())
+}
+
+// Quantile returns the latency at quantile q in [0, 1], accurate to the
+// bucket's relative width. Zero observations yield zero.
+func (h *LatencyHist) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	if target > total {
+		target = total
+	}
+	var seen uint64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen >= target {
+			return time.Duration(histValue(i))
+		}
+	}
+	return 0
+}
+
 // RepetitionResult holds the metrics of one benchmark execution across all
 // clients.
 type RepetitionResult struct {
@@ -49,6 +143,11 @@ type RepetitionResult struct {
 	// FLS is the mean finalization latency in seconds over received
 	// transactions.
 	FLS float64
+	// P50, P95, and P99 are finalization-latency percentiles in seconds,
+	// from the streamed histogram (zero when nothing was received).
+	P50 float64
+	P95 float64
+	P99 float64
 	// DurationSec is t_lrtx - t_fstx (formula 3) in seconds.
 	DurationSec float64
 	// ReceivedNoT counts received payloads (operations).
@@ -57,9 +156,58 @@ type RepetitionResult struct {
 	ExpectedNoT int
 }
 
+// ClientSummary is one client's online aggregation of a benchmark phase:
+// counters and a latency histogram streamed while events arrive, so a
+// repetition's metrics no longer require concatenating every client's raw
+// record slice.
+type ClientSummary struct {
+	// FirstSend is the client's t_fstx candidate (zero if nothing sent).
+	FirstSend time.Time
+	// LastRecv is the client's t_lrtx candidate (zero if nothing received).
+	LastRecv time.Time
+	// ExpectedNoT and ReceivedNoT count sent and confirmed payloads.
+	ExpectedNoT int
+	ReceivedNoT int
+	// LatencySum and LatencyN accumulate per-transaction finalization
+	// latency for the MFLS mean.
+	LatencySum time.Duration
+	LatencyN   int
+	// Hist is the client's streamed latency histogram.
+	Hist *LatencyHist
+}
+
+// CombineSummaries folds per-client online summaries into one repetition's
+// metrics, following §4.5: t_fstx is the first send across all clients,
+// t_lrtx the last confirmation across all clients.
+func CombineSummaries(sums []ClientSummary) RepetitionResult {
+	var (
+		first      time.Time
+		last       time.Time
+		received   int
+		expected   int
+		latencySum time.Duration
+		latencyN   int
+	)
+	hist := NewLatencyHist()
+	for _, s := range sums {
+		expected += s.ExpectedNoT
+		received += s.ReceivedNoT
+		if !s.FirstSend.IsZero() && (first.IsZero() || s.FirstSend.Before(first)) {
+			first = s.FirstSend
+		}
+		if s.LastRecv.After(last) {
+			last = s.LastRecv
+		}
+		latencySum += s.LatencySum
+		latencyN += s.LatencyN
+		hist.Merge(s.Hist)
+	}
+	return finishRepetition(first, last, received, expected, latencySum, latencyN, hist)
+}
+
 // ComputeRepetition derives one repetition's metrics from the raw records
-// of every client, following §4.5: t_fstx is the first send across all
-// clients, t_lrtx the last confirmation across all clients.
+// of every client; it is the record-slice counterpart of CombineSummaries
+// for callers that hold materialized records.
 func ComputeRepetition(records []TxRecord) RepetitionResult {
 	var (
 		first      time.Time
@@ -69,6 +217,7 @@ func ComputeRepetition(records []TxRecord) RepetitionResult {
 		latencySum time.Duration
 		latencyN   int
 	)
+	hist := NewLatencyHist()
 	for _, r := range records {
 		expected += r.Ops
 		if first.IsZero() || r.Start.Before(first) {
@@ -83,7 +232,12 @@ func ComputeRepetition(records []TxRecord) RepetitionResult {
 		}
 		latencySum += r.FLS()
 		latencyN++
+		hist.Observe(r.FLS())
 	}
+	return finishRepetition(first, last, received, expected, latencySum, latencyN, hist)
+}
+
+func finishRepetition(first, last time.Time, received, expected int, latencySum time.Duration, latencyN int, hist *LatencyHist) RepetitionResult {
 	res := RepetitionResult{ReceivedNoT: received, ExpectedNoT: expected}
 	if received > 0 && last.After(first) {
 		res.DurationSec = last.Sub(first).Seconds()
@@ -91,6 +245,11 @@ func ComputeRepetition(records []TxRecord) RepetitionResult {
 	}
 	if latencyN > 0 {
 		res.FLS = (latencySum / time.Duration(latencyN)).Seconds()
+	}
+	if hist != nil && hist.Count() > 0 {
+		res.P50 = hist.Quantile(0.50).Seconds()
+		res.P95 = hist.Quantile(0.95).Seconds()
+		res.P99 = hist.Quantile(0.99).Seconds()
 	}
 	return res
 }
@@ -163,19 +322,27 @@ type Result struct {
 	Duration Stats
 	Received Stats
 	Expected Stats
+	// MFLSP50/95/99 summarise the latency-histogram percentiles across
+	// repetitions.
+	MFLSP50 Stats
+	MFLSP95 Stats
+	MFLSP99 Stats
 
 	Repetitions []RepetitionResult
 }
 
 // Aggregate folds repetition results into a Result.
 func Aggregate(system, benchmark string, params map[string]string, reps []RepetitionResult) Result {
-	var tps, fls, dur, recv, exp []float64
+	var tps, fls, dur, recv, exp, p50, p95, p99 []float64
 	for _, r := range reps {
 		tps = append(tps, r.TPS)
 		fls = append(fls, r.FLS)
 		dur = append(dur, r.DurationSec)
 		recv = append(recv, float64(r.ReceivedNoT))
 		exp = append(exp, float64(r.ExpectedNoT))
+		p50 = append(p50, r.P50)
+		p95 = append(p95, r.P95)
+		p99 = append(p99, r.P99)
 	}
 	return Result{
 		System:      system,
@@ -186,6 +353,9 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		Duration:    Summarize(dur),
 		Received:    Summarize(recv),
 		Expected:    Summarize(exp),
+		MFLSP50:     Summarize(p50),
+		MFLSP95:     Summarize(p95),
+		MFLSP99:     Summarize(p99),
 		Repetitions: reps,
 	}
 }

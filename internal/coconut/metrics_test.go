@@ -132,6 +132,134 @@ func TestAggregate(t *testing.T) {
 	}
 }
 
+func TestLatencyHistQuantiles(t *testing.T) {
+	h := NewLatencyHist()
+	// 1..1000ms uniformly: P50 ≈ 500ms, P99 ≈ 990ms, within the histogram's
+	// ~3% bucket error.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	check := func(q, wantMs float64) {
+		t.Helper()
+		got := h.Quantile(q).Seconds() * 1000
+		if math.Abs(got-wantMs) > 0.05*wantMs {
+			t.Fatalf("Q(%v) = %.1fms, want %.0fms ±5%%", q, got, wantMs)
+		}
+	}
+	check(0.50, 500)
+	check(0.95, 950)
+	check(0.99, 990)
+}
+
+func TestLatencyHistEdgeCases(t *testing.T) {
+	h := NewLatencyHist()
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile != 0")
+	}
+	h.Observe(-time.Second) // clamped to zero
+	h.Observe(0)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Quantile(1) != 0 {
+		t.Fatal("zero-latency observations must quantile to 0")
+	}
+}
+
+func TestLatencyHistMerge(t *testing.T) {
+	a, b := NewLatencyHist(), NewLatencyHist()
+	for i := 0; i < 100; i++ {
+		a.Observe(10 * time.Millisecond)
+		b.Observe(1000 * time.Millisecond)
+	}
+	a.Merge(b)
+	a.Merge(nil) // no-op
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if p := a.Quantile(0.25).Seconds(); math.Abs(p-0.010) > 0.001 {
+		t.Fatalf("P25 = %v, want ~10ms", p)
+	}
+	if p := a.Quantile(0.75).Seconds(); math.Abs(p-1.0) > 0.05 {
+		t.Fatalf("P75 = %v, want ~1s", p)
+	}
+}
+
+// Property: histogram buckets are monotone and bounded-error — for any
+// duration, the bucket's representative value is within 1/32 of the input.
+func TestPropertyHistBucketRelativeError(t *testing.T) {
+	f := func(raw uint32) bool {
+		v := uint64(raw)
+		got := histValue(histIndex(v))
+		diff := math.Abs(float64(got) - float64(v))
+		return diff <= math.Max(1, float64(v)/float64(histSubCount))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeRepetitionPercentiles(t *testing.T) {
+	records := []TxRecord{
+		rec(0, 1, 1, true),  // FLS 1s
+		rec(0, 2, 1, true),  // FLS 2s
+		rec(0, 10, 1, true), // FLS 10s
+		rec(0, 0, 1, false), // lost: excluded from percentiles
+	}
+	res := ComputeRepetition(records)
+	if math.Abs(res.P50-2) > 0.1 {
+		t.Fatalf("P50 = %v, want ~2s", res.P50)
+	}
+	if math.Abs(res.P99-10) > 0.5 {
+		t.Fatalf("P99 = %v, want ~10s", res.P99)
+	}
+}
+
+// TestCombineSummariesMatchesComputeRepetition pins the streaming path to
+// the record-slice path on the same underlying data.
+func TestCombineSummariesMatchesComputeRepetition(t *testing.T) {
+	mkSummary := func(records []TxRecord) ClientSummary {
+		s := ClientSummary{Hist: NewLatencyHist()}
+		for _, r := range records {
+			s.ExpectedNoT += r.Ops
+			if s.FirstSend.IsZero() || r.Start.Before(s.FirstSend) {
+				s.FirstSend = r.Start
+			}
+			if !r.Received {
+				continue
+			}
+			s.ReceivedNoT += r.Ops
+			if r.End.After(s.LastRecv) {
+				s.LastRecv = r.End
+			}
+			s.LatencySum += r.FLS()
+			s.LatencyN++
+			s.Hist.Observe(r.FLS())
+		}
+		return s
+	}
+	c1 := []TxRecord{rec(0, 2, 1, true), rec(1, 5, 2, true), rec(2, 0, 1, false)}
+	c2 := []TxRecord{rec(3, 4, 1, true), rec(1, 9, 1, true)}
+	got := CombineSummaries([]ClientSummary{mkSummary(c1), mkSummary(c2)})
+	want := ComputeRepetition(append(append([]TxRecord{}, c1...), c2...))
+	if got.ExpectedNoT != want.ExpectedNoT || got.ReceivedNoT != want.ReceivedNoT {
+		t.Fatalf("NoT: got %d/%d want %d/%d", got.ReceivedNoT, got.ExpectedNoT, want.ReceivedNoT, want.ExpectedNoT)
+	}
+	if math.Abs(got.TPS-want.TPS) > 1e-9 || math.Abs(got.FLS-want.FLS) > 1e-9 {
+		t.Fatalf("TPS/FLS: got %v/%v want %v/%v", got.TPS, got.FLS, want.TPS, want.FLS)
+	}
+	if math.Abs(got.DurationSec-want.DurationSec) > 1e-9 {
+		t.Fatalf("duration: got %v want %v", got.DurationSec, want.DurationSec)
+	}
+	if got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
+		t.Fatalf("percentiles diverge: got %v/%v/%v want %v/%v/%v",
+			got.P50, got.P95, got.P99, want.P50, want.P95, want.P99)
+	}
+}
+
 // Property: MTPS mean always lies within [min, max] of samples.
 func TestPropertySummarizeMeanBounded(t *testing.T) {
 	f := func(raw []uint16) bool {

@@ -24,6 +24,13 @@ type RunConfig struct {
 	Clients int
 	// RateLimit is payloads/second per client (the paper's RL).
 	RateLimit int
+	// Arrival shapes each client's inter-send gaps at the configured rate;
+	// nil means the paper's uniform pacing. Poisson and burst schedules
+	// model open-loop and flash-crowd traffic at the same mean rate.
+	Arrival ArrivalSchedule
+	// ArrivalSeed makes randomized schedules deterministic; each client and
+	// repetition derives a distinct stream from it.
+	ArrivalSeed int64
 	// WorkloadThreads per client (paper: 16).
 	WorkloadThreads int
 	// OpsPerTx and BatchSize mirror ClientConfig.
@@ -121,9 +128,9 @@ func runRepetition(cfg RunConfig, rep int) (map[BenchmarkName]RepetitionResult, 
 			}
 		}
 
-		records, sent := runBenchmark(cfg, driver, bench, rep, readMax)
+		rr, sent := runBenchmark(cfg, driver, bench, rep, readMax)
 		writtenCounts[bench] = sent
-		out[bench] = ComputeRepetition(records)
+		out[bench] = rr
 		quiesce(cfg, driver)
 	}
 	return out, nil
@@ -145,8 +152,11 @@ func quiesce(cfg RunConfig, driver systems.Driver) {
 	}
 }
 
-// runBenchmark provisions fresh clients and executes one benchmark.
-func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep int, readMax [][]uint64) ([]TxRecord, [][]uint64) {
+// runBenchmark provisions fresh clients and executes one benchmark. Each
+// client streams its own online summary (records are discarded as they
+// finalize, keeping memory bounded by the in-flight window); the summaries
+// merge lock-free at phase end into the repetition's metrics.
+func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep int, readMax [][]uint64) (RepetitionResult, [][]uint64) {
 	clients := make([]*Client, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
 		var rm []uint64
@@ -156,36 +166,40 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		clients[i] = NewClient(ClientConfig{
 			// The client identity is stable across unit members and
 			// repetitions so read phases regenerate the write phase's keys.
-			ID:              fmt.Sprintf("coconut-client-%d", i),
-			Driver:          driver,
-			EntryNode:       i, // each client targets a different server (§4.3)
-			Benchmark:       bench,
-			RateLimit:       cfg.RateLimit,
+			ID:        fmt.Sprintf("coconut-client-%d", i),
+			Driver:    driver,
+			EntryNode: i, // each client targets a different server (§4.3)
+			Benchmark: bench,
+			RateLimit: cfg.RateLimit,
+			Arrival:   cfg.Arrival,
+			// Decorrelate randomized arrival streams across clients and
+			// repetitions while keeping runs reproducible.
+			ArrivalSeed:     cfg.ArrivalSeed + int64(i)*7919 + int64(rep)*104729,
 			WorkloadThreads: cfg.WorkloadThreads,
 			OpsPerTx:        cfg.OpsPerTx,
 			BatchSize:       cfg.BatchSize,
 			SendDuration:    cfg.SendDuration,
 			ListenGrace:     cfg.ListenGrace,
 			ReadMax:         rm,
+			DiscardRecords:  true,
 			Clock:           cfg.Clock,
 		})
 	}
 
 	// All clients wait on a shared barrier so load starts uniformly (§4.3).
+	// Each goroutine writes only its own summary slot; wg.Wait orders the
+	// writes before the merge, so no lock is needed.
 	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var all []TxRecord
+	sums := make([]ClientSummary, len(clients))
 	start := make(chan struct{})
-	for _, cl := range clients {
-		cl := cl
+	for i, cl := range clients {
+		i, cl := i, cl
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			<-start
-			records := cl.Run()
-			mu.Lock()
-			all = append(all, records...)
-			mu.Unlock()
+			cl.Run()
+			sums[i] = cl.Summary()
 		}()
 	}
 	close(start)
@@ -195,7 +209,7 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 	for i, cl := range clients {
 		written[i] = cl.ReceivedCounts()
 	}
-	return all, written
+	return CombineSummaries(sums), written
 }
 
 func decrementCounts(in [][]uint64) [][]uint64 {

@@ -47,8 +47,18 @@ type Options struct {
 	// Nodes overrides the network size (scalability, §5.8.2); 0 = paper
 	// default of 4.
 	Nodes int
+	// Arrival names the client arrival schedule ("uniform", "poisson",
+	// "burst[:N]"); empty means the paper's uniform pacing.
+	Arrival string
 	// Seed drives deterministic randomness.
 	Seed int64
+}
+
+// arrivalSchedule resolves the named schedule; an unknown name is an error
+// so an experiment never silently runs under a different arrival process
+// than its results claim.
+func (o Options) arrivalSchedule() (coconut.ArrivalSchedule, error) {
+	return coconut.ArrivalByName(o.Arrival)
 }
 
 func (o *Options) fill() {
@@ -375,12 +385,18 @@ func RunCell(system string, bench coconut.BenchmarkName, p Params, o Options) (c
 		}
 	}
 
+	arrival, err := o.arrivalSchedule()
+	if err != nil {
+		return coconut.Result{}, err
+	}
 	results, err := coconut.Run(coconut.RunConfig{
 		SystemName:      system,
 		NewDriver:       newDriver,
 		Unit:            unit,
 		Clients:         4,
 		RateLimit:       perClientRL,
+		Arrival:         arrival,
+		ArrivalSeed:     o.Seed,
 		WorkloadThreads: 8,
 		OpsPerTx:        opsPerTx,
 		BatchSize:       batchSize,

@@ -74,10 +74,11 @@ func (c *Config) fill() {
 
 // node is one BitShares node (witness or observer).
 type node struct {
-	id     string
-	engine *dpos.Engine
-	ledger *chain.Ledger
-	state  *statestore.KVStore
+	id      string
+	hubNode *systems.HubNode
+	engine  *dpos.Engine
+	ledger  *chain.Ledger
+	state   *statestore.KVStore
 }
 
 // Network is a full BitShares deployment.
@@ -132,9 +133,10 @@ func New(cfg Config) *Network {
 
 	for i := 0; i < cfg.Nodes; i++ {
 		nd := &node{
-			id:     names[i],
-			ledger: chain.NewLedger("bitshares"),
-			state:  statestore.NewKVStore(),
+			id:      names[i],
+			hubNode: n.hub.Node(names[i]),
+			ledger:  chain.NewLedger("bitshares"),
+			state:   statestore.NewKVStore(),
 		}
 		nd.engine = dpos.New(dpos.Config{
 			ID:            nd.id,
@@ -287,7 +289,7 @@ func (n *Network) makeDecideFunc(nd *node) consensus.DecideFunc {
 		now := n.cfg.Clock.Now()
 		for txNum, tx := range surviving {
 			applyTx(tx, nd.state, cb.Number, txNum)
-			n.hub.NodeCommitted(nd.id, systems.Event{
+			nd.hubNode.Committed(systems.Event{
 				TxID:      tx.ID,
 				Client:    tx.Client,
 				Committed: true,

@@ -145,9 +145,10 @@ type flowJob struct {
 
 // node is one Corda node.
 type node struct {
-	id    string
-	vault *chain.Vault
-	queue chan flowJob
+	id      string
+	hubNode *systems.HubNode
+	vault   *chain.Vault
+	queue   chan flowJob
 }
 
 // Network is a full Corda deployment (either edition).
@@ -184,9 +185,10 @@ func New(cfg Config) *Network {
 	for i := 0; i < cfg.Nodes; i++ {
 		id := fmt.Sprintf("corda-node-%d", i)
 		n.nodes = append(n.nodes, &node{
-			id:    id,
-			vault: chain.NewVault(),
-			queue: make(chan flowJob, cfg.QueueDepth),
+			id:      id,
+			hubNode: n.hub.Node(id),
+			vault:   chain.NewVault(),
+			queue:   make(chan flowJob, cfg.QueueDepth),
 		})
 		n.signers[id] = crypto.NewIdentity(id)
 	}
@@ -367,7 +369,7 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 			n.recordFailure()
 			return
 		}
-		n.hub.NodeCommitted(nd.id, ev, n.cfg.Clock.Now())
+		nd.hubNode.Committed(ev, n.cfg.Clock.Now())
 	}
 }
 

@@ -82,11 +82,12 @@ type proposedBlock struct {
 
 // validator is one Diem node.
 type validator struct {
-	id     string
-	engine *diembft.Engine
-	ledger *chain.Ledger
-	state  *statestore.KVStore
-	pool   *mempool.Pool[*chain.Transaction]
+	id      string
+	hubNode *systems.HubNode
+	engine  *diembft.Engine
+	ledger  *chain.Ledger
+	state   *statestore.KVStore
+	pool    *mempool.Pool[*chain.Transaction]
 
 	mu         sync.Mutex
 	spikeUntil time.Time
@@ -128,10 +129,11 @@ func New(cfg Config) *Network {
 	}
 	for i := 0; i < cfg.Validators; i++ {
 		v := &validator{
-			id:     names[i],
-			ledger: chain.NewLedger("diem"),
-			state:  statestore.NewKVStore(),
-			pool:   mempool.NewBounded[*chain.Transaction](cfg.MempoolDepth),
+			id:      names[i],
+			hubNode: n.hub.Node(names[i]),
+			ledger:  chain.NewLedger("diem"),
+			state:   statestore.NewKVStore(),
+			pool:    mempool.NewBounded[*chain.Transaction](cfg.MempoolDepth),
 		}
 		v.lastSpike = cfg.Clock.Now()
 		v.engine = diembft.New(diembft.Config{
@@ -267,7 +269,7 @@ func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 			if execErr != nil {
 				ev.Reason = execErr.Error()
 			}
-			n.hub.NodeCommitted(v.id, ev, now)
+			v.hubNode.Committed(ev, now)
 		}
 	}
 }

@@ -104,9 +104,10 @@ type cutBatch struct {
 
 // peer is one endorsing/committing peer.
 type peer struct {
-	id     string
-	ledger *chain.Ledger
-	state  *statestore.KVStore
+	id      string
+	hubNode *systems.HubNode
+	ledger  *chain.Ledger
+	state   *statestore.KVStore
 }
 
 // orderer couples an ordering-backend handle with a block cutter. With the
@@ -154,10 +155,12 @@ func New(cfg Config) *Network {
 	}
 
 	for i := 0; i < cfg.Peers; i++ {
+		id := fmt.Sprintf("fabric-peer-%d", i)
 		n.peers = append(n.peers, &peer{
-			id:     fmt.Sprintf("fabric-peer-%d", i),
-			ledger: chain.NewLedger("fabric"),
-			state:  statestore.NewKVStore(),
+			id:      id,
+			hubNode: n.hub.Node(id),
+			ledger:  chain.NewLedger("fabric"),
+			state:   statestore.NewKVStore(),
 		})
 	}
 
@@ -412,7 +415,7 @@ func (n *Network) commitBlock(seq uint64, batch cutBatch) {
 			if validErr != nil {
 				ev.Reason = validErr.Error()
 			}
-			n.hub.NodeCommitted(p.id, ev, now)
+			p.hubNode.Committed(ev, now)
 		}
 	}
 }

@@ -1,81 +1,245 @@
 package systems
 
 import (
+	"encoding/binary"
+	"math/bits"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/crypto"
+)
+
+// Shard-plane defaults. Shard count must be a power of two so the tx-hash
+// prefix maps to a shard with a mask instead of a modulo.
+const (
+	// DefaultShards is the number of independent lock domains. Commit
+	// notifications for different transactions contend only when their
+	// hashes share a prefix, so the hot path scales with cores.
+	DefaultShards = 32
+	// DefaultEmittedRetention bounds the per-shard tombstone set that
+	// suppresses late duplicate reports after a transaction has emitted.
+	// Older tombstones are pruned FIFO, so hub memory stays constant over
+	// arbitrarily long runs instead of growing with every transaction.
+	DefaultEmittedRetention = 1 << 14
 )
 
 // Hub aggregates per-node commit notifications and fires the end-to-end
 // finalization event once every node in the network has persisted a
 // transaction. It also routes events to the submitting client's
 // subscription, mirroring COCONUT's event-based collection (§3).
+//
+// Internally the hub is sharded by transaction-hash prefix: each shard has
+// its own lock, pending set, and bounded emitted-tombstone ring, and node
+// identities are interned once into dense indices so per-transaction
+// tracking is a bitset rather than a map of node-ID strings. Aggregate
+// counters are atomics, not map scans.
 type Hub struct {
-	nodes int
+	nodes     int
+	shardMask uint64
+	shards    []hubShard
+	retention int
 
-	mu      sync.Mutex
-	pending map[crypto.Hash]*pendingTx
-	subs    map[string]EventFunc
-	emitted map[crypto.Hash]bool
+	subsMu sync.RWMutex
+	subs   map[string]EventFunc
+
+	nodeMu  sync.RWMutex
+	nodeIdx map[string]*HubNode
+
+	pendingN atomic.Int64
+	emittedN atomic.Int64
 }
 
+// hubShard is one lock domain of the hub. The pad keeps neighbouring shards
+// off the same cache line under heavy cross-core commit traffic.
+type hubShard struct {
+	mu      sync.Mutex
+	pending map[crypto.Hash]*pendingTx
+	// emitted holds tombstones for recently finalized transactions so late
+	// duplicate node reports do not re-open them; emitQ prunes it FIFO.
+	emitted  map[crypto.Hash]struct{}
+	emitQ    []crypto.Hash
+	emitHead int
+	_        [8]byte // pad the 56-byte struct to one 64-byte cache line
+}
+
+// pendingTx tracks which nodes persisted one transaction, as a bitset over
+// interned node indices.
 type pendingTx struct {
 	event Event
-	seen  map[string]bool
+	seen  []uint64
+	count int
+}
+
+func (p *pendingTx) mark(idx int) bool {
+	word, bit := idx/64, uint(idx%64)
+	for word >= len(p.seen) {
+		p.seen = append(p.seen, 0)
+	}
+	if p.seen[word]&(1<<bit) != 0 {
+		return false
+	}
+	p.seen[word] |= 1 << bit
+	p.count++
+	return true
+}
+
+// HubOption customizes hub construction.
+type HubOption func(*Hub)
+
+// WithShards sets the shard count; values are rounded up to a power of two.
+// One shard reproduces the pre-sharding global-lock behaviour (useful for
+// benchmarking the measurement-plane overhead).
+func WithShards(n int) HubOption {
+	return func(h *Hub) {
+		if n < 1 {
+			n = 1
+		}
+		if n&(n-1) != 0 {
+			n = 1 << bits.Len(uint(n))
+		}
+		h.shards = make([]hubShard, n)
+		h.shardMask = uint64(n - 1)
+	}
+}
+
+// WithEmittedRetention sets how many finalized-transaction tombstones each
+// shard retains for duplicate suppression before pruning the oldest.
+func WithEmittedRetention(n int) HubOption {
+	return func(h *Hub) {
+		if n < 1 {
+			n = 1
+		}
+		h.retention = n
+	}
 }
 
 // NewHub creates a hub for a network of the given node count.
-func NewHub(nodes int) *Hub {
-	return &Hub{
-		nodes:   nodes,
-		pending: make(map[crypto.Hash]*pendingTx),
-		subs:    make(map[string]EventFunc),
-		emitted: make(map[crypto.Hash]bool),
+func NewHub(nodes int, opts ...HubOption) *Hub {
+	h := &Hub{
+		nodes:     nodes,
+		subs:      make(map[string]EventFunc),
+		nodeIdx:   make(map[string]*HubNode),
+		retention: DefaultEmittedRetention,
 	}
+	WithShards(DefaultShards)(h)
+	for _, opt := range opts {
+		opt(h)
+	}
+	for i := range h.shards {
+		h.shards[i].pending = make(map[crypto.Hash]*pendingTx)
+		h.shards[i].emitted = make(map[crypto.Hash]struct{})
+	}
+	return h
+}
+
+// shardFor selects the lock domain from the transaction-hash prefix.
+func (h *Hub) shardFor(id crypto.Hash) *hubShard {
+	return &h.shards[binary.BigEndian.Uint64(id[:8])&h.shardMask]
 }
 
 // Subscribe registers fn as the listener for events whose Client matches.
 func (h *Hub) Subscribe(client string, fn EventFunc) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.subsMu.Lock()
+	defer h.subsMu.Unlock()
 	h.subs[client] = fn
+}
+
+// Node interns a node identity and returns its commit handle. Drivers
+// resolve the handle once at provisioning time so the per-commit hot path
+// never touches the node-ID string map.
+func (h *Hub) Node(id string) *HubNode {
+	h.nodeMu.RLock()
+	n, ok := h.nodeIdx[id]
+	h.nodeMu.RUnlock()
+	if ok {
+		return n
+	}
+	h.nodeMu.Lock()
+	defer h.nodeMu.Unlock()
+	if n, ok := h.nodeIdx[id]; ok {
+		return n
+	}
+	n = &HubNode{hub: h, idx: len(h.nodeIdx), id: id}
+	h.nodeIdx[id] = n
+	return n
 }
 
 // NodeCommitted records that one node persisted the transaction described
 // by ev. When all nodes have reported, the event fires to the client's
 // subscription with FinalizedAt set to the last node's commit time.
 // Duplicate reports from the same node are ignored.
+//
+// Drivers on the hot path should prefer a pre-resolved Node(...).Committed
+// handle; this wrapper interns the node ID on every call.
 func (h *Hub) NodeCommitted(nodeID string, ev Event, at time.Time) {
-	h.mu.Lock()
-	if h.emitted[ev.TxID] {
-		h.mu.Unlock()
+	h.Node(nodeID).Committed(ev, at)
+}
+
+// HubNode is one node's commit handle, bound to a dense node index.
+type HubNode struct {
+	hub *Hub
+	idx int
+	id  string
+}
+
+// ID returns the node identity the handle was interned for.
+func (n *HubNode) ID() string { return n.id }
+
+// Committed reports that this node persisted the transaction described by
+// ev; semantics match Hub.NodeCommitted.
+func (n *HubNode) Committed(ev Event, at time.Time) {
+	h := n.hub
+	s := h.shardFor(ev.TxID)
+
+	s.mu.Lock()
+	if _, done := s.emitted[ev.TxID]; done {
+		s.mu.Unlock()
 		return
 	}
-	p, ok := h.pending[ev.TxID]
+	p, ok := s.pending[ev.TxID]
 	if !ok {
-		p = &pendingTx{event: ev, seen: make(map[string]bool, h.nodes)}
-		h.pending[ev.TxID] = p
+		p = &pendingTx{event: ev, seen: make([]uint64, (h.nodes+63)/64)}
+		s.pending[ev.TxID] = p
+		h.pendingN.Add(1)
 	}
-	if p.seen[nodeID] {
-		h.mu.Unlock()
+	if !p.mark(n.idx) || p.count < h.nodes {
+		s.mu.Unlock()
 		return
 	}
-	p.seen[nodeID] = true
-	if len(p.seen) < h.nodes {
-		h.mu.Unlock()
-		return
-	}
-	// Final node: emit.
-	delete(h.pending, ev.TxID)
-	h.emitted[ev.TxID] = true
+	// Final node: emit exactly once. The transition happens under the shard
+	// lock, the callback runs outside every lock.
+	delete(s.pending, ev.TxID)
+	s.tombstone(ev.TxID, h.retention)
+	s.mu.Unlock()
+	h.pendingN.Add(-1)
+	h.emittedN.Add(1)
+
 	out := p.event
 	out.FinalizedAt = at
-	fn := h.subs[out.Client]
-	h.mu.Unlock()
+	h.deliver(out)
+}
 
+// tombstone records an emitted transaction for duplicate suppression,
+// pruning the oldest entry once the shard's retention window is full.
+// Caller holds the shard lock.
+func (s *hubShard) tombstone(id crypto.Hash, retention int) {
+	s.emitted[id] = struct{}{}
+	if len(s.emitQ) < retention {
+		s.emitQ = append(s.emitQ, id)
+		return
+	}
+	delete(s.emitted, s.emitQ[s.emitHead])
+	s.emitQ[s.emitHead] = id
+	s.emitHead = (s.emitHead + 1) % retention
+}
+
+func (h *Hub) deliver(ev Event) {
+	h.subsMu.RLock()
+	fn := h.subs[ev.Client]
+	h.subsMu.RUnlock()
 	if fn != nil {
-		fn(out)
+		fn(ev)
 	}
 }
 
@@ -83,24 +247,30 @@ func (h *Hub) NodeCommitted(nodeID string, ev Event, at time.Time) {
 // for client-visible rejections that never reach the chain.
 func (h *Hub) EmitDirect(ev Event, at time.Time) {
 	ev.FinalizedAt = at
-	h.mu.Lock()
-	fn := h.subs[ev.Client]
-	h.mu.Unlock()
-	if fn != nil {
-		fn(ev)
-	}
+	h.deliver(ev)
 }
 
 // PendingCount reports transactions persisted on some but not all nodes.
 func (h *Hub) PendingCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.pending)
+	return int(h.pendingN.Load())
 }
 
-// EmittedCount reports fully finalized transactions.
+// EmittedCount reports fully finalized transactions over the hub's
+// lifetime. Unlike the tombstone set, the counter is never pruned.
 func (h *Hub) EmittedCount() int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return len(h.emitted)
+	return int(h.emittedN.Load())
+}
+
+// TombstoneCount reports how many duplicate-suppression tombstones are
+// currently retained across all shards; it is bounded by
+// shards × retention regardless of run length.
+func (h *Hub) TombstoneCount() int {
+	total := 0
+	for i := range h.shards {
+		s := &h.shards[i]
+		s.mu.Lock()
+		total += len(s.emitted)
+		s.mu.Unlock()
+	}
+	return total
 }

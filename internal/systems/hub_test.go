@@ -1,6 +1,7 @@
 package systems
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -97,6 +98,116 @@ func TestHubEmitDirect(t *testing.T) {
 	}
 	if !got[0].FinalizedAt.Equal(time.Unix(9, 0)) {
 		t.Fatal("EmitDirect must stamp FinalizedAt")
+	}
+}
+
+// TestHubManyTransactionsConcurrentExactlyOnce hammers the sharded hub
+// with interleaved commits for many transactions from many goroutines and
+// checks every transaction emits exactly once (run under -race).
+func TestHubManyTransactionsConcurrentExactlyOnce(t *testing.T) {
+	const (
+		nodes = 5
+		txs   = 400
+	)
+	h := NewHub(nodes)
+	var mu sync.Mutex
+	fired := make(map[crypto.Hash]int, txs)
+	h.Subscribe("c", func(e Event) {
+		mu.Lock()
+		fired[e.TxID]++
+		mu.Unlock()
+	})
+
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		node := h.Node(string(rune('a' + n)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < txs; i++ {
+				ev := Event{TxID: crypto.SumString("tx-" + string(rune(i))), Client: "c"}
+				node.Committed(ev, time.Unix(int64(i), 0))
+				// Duplicate report from the same node must be idempotent.
+				node.Committed(ev, time.Unix(int64(i), 1))
+			}
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for id, n := range fired {
+		if n != 1 {
+			t.Fatalf("tx %s fired %d times, want exactly 1", id.Short(), n)
+		}
+	}
+	if h.PendingCount() != 0 {
+		t.Fatalf("pending = %d after all nodes committed everything", h.PendingCount())
+	}
+	if got := h.EmittedCount(); got != len(fired) {
+		t.Fatalf("EmittedCount = %d, fired = %d", got, len(fired))
+	}
+}
+
+// TestHubTombstoneRetentionBounded checks the fix for the seed's unbounded
+// emitted-map growth: tombstones are pruned FIFO per shard, so memory stays
+// constant while the lifetime emitted counter keeps increasing.
+func TestHubTombstoneRetentionBounded(t *testing.T) {
+	const retention = 8
+	h := NewHub(1, WithShards(1), WithEmittedRetention(retention))
+	for i := 0; i < 100; i++ {
+		ev := Event{TxID: crypto.SumString(fmt.Sprintf("tx-%d", i)), Client: "c"}
+		h.NodeCommitted("n0", ev, time.Unix(int64(i), 0))
+	}
+	if got := h.EmittedCount(); got != 100 {
+		t.Fatalf("EmittedCount = %d, want 100", got)
+	}
+	if got := h.TombstoneCount(); got != retention {
+		t.Fatalf("TombstoneCount = %d, want retention cap %d", got, retention)
+	}
+	// A late replay of a recently emitted transaction must still be
+	// suppressed.
+	last := Event{TxID: crypto.SumString("tx-99"), Client: "c"}
+	before := h.EmittedCount()
+	h.NodeCommitted("n0", last, time.Unix(1000, 0))
+	if h.EmittedCount() != before {
+		t.Fatal("tombstoned transaction re-emitted")
+	}
+}
+
+// TestHubNodeHandleInterning checks handles are stable per identity and
+// usable interchangeably with the string API.
+func TestHubNodeHandleInterning(t *testing.T) {
+	h := NewHub(2)
+	a1, a2 := h.Node("a"), h.Node("a")
+	if a1 != a2 {
+		t.Fatal("same identity interned twice")
+	}
+	if a1.ID() != "a" {
+		t.Fatalf("handle ID = %q", a1.ID())
+	}
+	fired := 0
+	h.Subscribe("c", func(Event) { fired++ })
+	ev := Event{TxID: crypto.SumString("tx"), Client: "c"}
+	a1.Committed(ev, time.Unix(1, 0))
+	h.NodeCommitted("a", ev, time.Unix(2, 0)) // duplicate via string API
+	if fired != 0 {
+		t.Fatal("duplicate node report (handle + string) fired the event")
+	}
+	h.Node("b").Committed(ev, time.Unix(3, 0))
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}
+
+// TestHubWithShardsRoundsToPowerOfTwo documents the shard-mask invariant.
+func TestHubWithShardsRoundsToPowerOfTwo(t *testing.T) {
+	h := NewHub(1, WithShards(5))
+	if len(h.shards) != 8 {
+		t.Fatalf("shards = %d, want 8", len(h.shards))
+	}
+	if h.shardMask != 7 {
+		t.Fatalf("mask = %d, want 7", h.shardMask)
 	}
 }
 

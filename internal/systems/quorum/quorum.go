@@ -80,11 +80,12 @@ type producedBlock struct {
 
 // validator is one Quorum node.
 type validator struct {
-	id     string
-	engine *ibft.Engine
-	ledger *chain.Ledger
-	state  *statestore.KVStore
-	pool   *mempool.Pool[*chain.Transaction]
+	id      string
+	hubNode *systems.HubNode
+	engine  *ibft.Engine
+	ledger  *chain.Ledger
+	state   *statestore.KVStore
+	pool    *mempool.Pool[*chain.Transaction]
 
 	mu      sync.Mutex
 	seen    map[crypto.Hash]bool
@@ -130,11 +131,12 @@ func New(cfg Config) *Network {
 	}
 	for i := 0; i < cfg.Validators; i++ {
 		v := &validator{
-			id:     names[i],
-			ledger: chain.NewLedger("quorum"),
-			state:  statestore.NewKVStore(),
-			pool:   mempool.NewUnbounded[*chain.Transaction](),
-			seen:   make(map[crypto.Hash]bool),
+			id:      names[i],
+			hubNode: n.hub.Node(names[i]),
+			ledger:  chain.NewLedger("quorum"),
+			state:   statestore.NewKVStore(),
+			pool:    mempool.NewUnbounded[*chain.Transaction](),
+			seen:    make(map[crypto.Hash]bool),
 		}
 		v.engine = ibft.New(ibft.Config{
 			ID:         v.id,
@@ -333,7 +335,7 @@ func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 			if execErr != nil {
 				ev.Reason = execErr.Error()
 			}
-			n.hub.NodeCommitted(v.id, ev, now)
+			v.hubNode.Committed(ev, now)
 		}
 		// Remove included txs from the local pool (they may still be queued
 		// on validators that did not produce the block).

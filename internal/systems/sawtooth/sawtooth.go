@@ -85,11 +85,12 @@ type publishedBlock struct {
 
 // validator is one Sawtooth node.
 type validator struct {
-	id     string
-	engine *pbft.Engine
-	ledger *chain.Ledger
-	state  *statestore.KVStore
-	queue  *mempool.Pool[*chain.Batch]
+	id      string
+	hubNode *systems.HubNode
+	engine  *pbft.Engine
+	ledger  *chain.Ledger
+	state   *statestore.KVStore
+	queue   *mempool.Pool[*chain.Batch]
 
 	mu   sync.Mutex
 	seen map[crypto.Hash]bool
@@ -134,11 +135,12 @@ func New(cfg Config) *Network {
 	}
 	for i := 0; i < cfg.Validators; i++ {
 		v := &validator{
-			id:     names[i],
-			ledger: chain.NewLedger("sawtooth"),
-			state:  statestore.NewKVStore(),
-			queue:  mempool.NewBounded[*chain.Batch](cfg.QueueDepth),
-			seen:   make(map[crypto.Hash]bool),
+			id:      names[i],
+			hubNode: n.hub.Node(names[i]),
+			ledger:  chain.NewLedger("sawtooth"),
+			state:   statestore.NewKVStore(),
+			queue:   mempool.NewBounded[*chain.Batch](cfg.QueueDepth),
+			seen:    make(map[crypto.Hash]bool),
 		}
 		v.engine = pbft.New(pbft.Config{
 			ID:        v.id,
@@ -342,7 +344,7 @@ func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 		for txNum, batch := range survivingBatches {
 			for _, tx := range batch.Txs {
 				applyTx(tx, v.state, cb.Number, txNum)
-				n.hub.NodeCommitted(v.id, systems.Event{
+				v.hubNode.Committed(systems.Event{
 					TxID:      tx.ID,
 					Client:    tx.Client,
 					Committed: true,
