@@ -10,15 +10,18 @@
 //	coconut-sweep -figure 5                # scalability, 4..32 nodes
 //	coconut-sweep -table 13+14             # Fabric SendPayment rows
 //	coconut-sweep -tables                  # all tables
+//	coconut-sweep -faults partition-heal   # all systems under a chaos preset
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/experiments"
+	"github.com/coconut-bench/coconut/internal/faults"
 )
 
 func main() {
@@ -40,6 +43,8 @@ func run() error {
 		reps      = flag.Int("reps", 1, "repetitions (the paper uses 3)")
 		seed      = flag.Int64("seed", 42, "deterministic seed")
 		arrival   = flag.String("arrival", "uniform", "client arrival schedule: uniform, poisson, or burst[:N]")
+		faultsArg = flag.String("faults", "", "chaos preset to run all systems under: "+
+			strings.Join(faults.PresetNames(), ", "))
 	)
 	flag.Parse()
 
@@ -140,9 +145,23 @@ func run() error {
 		}
 	}
 
+	if *faultsArg != "" {
+		did = true
+		fmt.Printf("== Fault scenario: %s (all systems, DoNothing, RL=200) ==\n", *faultsArg)
+		outcomes, err := experiments.RunFaultScenario(*faultsArg, opts, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if md != nil {
+			if err := experiments.WriteFaultReport(md, "Fault scenario — "+*faultsArg, outcomes); err != nil {
+				return err
+			}
+		}
+	}
+
 	if !did {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -figure, -table, or -tables")
+		return fmt.Errorf("nothing to do: pass -figure, -table, -tables, or -faults")
 	}
 	return nil
 }

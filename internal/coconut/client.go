@@ -62,6 +62,10 @@ type ClientConfig struct {
 	// in-flight window instead of the whole run; metrics then come from
 	// Summary's online counters and histogram, and Run returns nil.
 	DiscardRecords bool
+	// Timeline, when set, receives every send and confirmation into the
+	// shared windowed measurement plane (fault runs derive availability
+	// and recovery statistics from it).
+	Timeline *Timeline
 	// Clock is the time source.
 	Clock clock.Clock
 }
@@ -191,7 +195,13 @@ func (c *Client) onEvent(ev systems.Event) {
 	if rec.Thread >= 0 && rec.Thread < len(c.threads) {
 		c.threads[rec.Thread].received.Add(uint64(rec.Ops))
 	}
+	ops := rec.Ops
 	s.mu.Unlock()
+	// The timeline update happens outside the shard lock: it is shared by
+	// every client and must not extend the per-shard critical section.
+	if c.cfg.Timeline != nil {
+		c.cfg.Timeline.RecordRecv(now, ops, fls)
+	}
 }
 
 // Run executes the send and listen phases, blocking until both complete,
@@ -411,6 +421,9 @@ func (c *Client) track(id crypto.Hash, start time.Time, ops, thread int) {
 	}
 	c.expectedOps.Add(int64(ops))
 	atomicMin(&c.firstSendNs, start.UnixNano())
+	if c.cfg.Timeline != nil {
+		c.cfg.Timeline.RecordSend(start, ops)
+	}
 }
 
 // SentCounts returns the per-thread payload counts accepted so far.

@@ -10,12 +10,17 @@ import (
 	"github.com/coconut-bench/coconut/internal/systems"
 )
 
-// fakeDriver is a scriptable systems.Driver for client unit tests.
+// fakeDriver is a scriptable systems.Driver for client unit tests. It
+// mimics the hub's fault semantics: while any node is crashed, confirmed
+// submissions buffer and flush when the node restarts ("persisted on all
+// nodes" stalls during an outage and catches up after recovery).
 type fakeDriver struct {
 	mu        sync.Mutex
 	subs      map[string]systems.EventFunc
 	submitted []*chain.Transaction
 	batches   []*chain.Batch
+	down      map[int]bool
+	deferred  []systems.Event
 	// confirm controls whether a submission is confirmed immediately.
 	confirm func(tx *chain.Transaction) bool
 }
@@ -43,20 +48,60 @@ func (f *fakeDriver) Subscribe(client string, fn systems.EventFunc) {
 	f.subs[client] = fn
 }
 
-func (f *fakeDriver) Submit(_ int, tx *chain.Transaction) error {
+func (f *fakeDriver) Submit(entry int, tx *chain.Transaction) error {
 	f.mu.Lock()
+	if f.down[entry%f.NodeCount()] {
+		f.mu.Unlock()
+		return systems.ErrNodeDown
+	}
 	f.submitted = append(f.submitted, tx)
 	fn := f.subs[tx.Client]
 	ok := f.confirm(tx)
+	ev := systems.Event{
+		TxID:      tx.ID,
+		Client:    tx.Client,
+		Committed: true,
+		ValidOK:   true,
+		OpCount:   tx.OpCount(),
+	}
+	if ok && len(f.down) > 0 {
+		// Some node is down: the tx commits on the survivors but the
+		// end-to-end event waits for the crashed node's restart.
+		f.deferred = append(f.deferred, ev)
+		f.mu.Unlock()
+		return nil
+	}
 	f.mu.Unlock()
 	if ok && fn != nil {
-		fn(systems.Event{
-			TxID:      tx.ID,
-			Client:    tx.Client,
-			Committed: true,
-			ValidOK:   true,
-			OpCount:   tx.OpCount(),
-		})
+		fn(ev)
+	}
+	return nil
+}
+
+func (f *fakeDriver) CrashNode(node int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.down == nil {
+		f.down = make(map[int]bool)
+	}
+	f.down[node%f.NodeCount()] = true
+	return nil
+}
+
+func (f *fakeDriver) RestartNode(node int) error {
+	f.mu.Lock()
+	delete(f.down, node%f.NodeCount())
+	var flush []systems.Event
+	if len(f.down) == 0 {
+		flush = f.deferred
+		f.deferred = nil
+	}
+	subs := f.subs
+	f.mu.Unlock()
+	for _, ev := range flush {
+		if fn := subs[ev.Client]; fn != nil {
+			fn(ev)
+		}
 	}
 	return nil
 }

@@ -154,6 +154,16 @@ type RepetitionResult struct {
 	ReceivedNoT int
 	// ExpectedNoT counts sent payloads.
 	ExpectedNoT int
+	// Availability is the windowed-timeline availability (1 for a fully
+	// healthy run; see FaultMetrics). Zero when no timeline was collected.
+	Availability float64
+	// Recovered and RecoverySec report whether and how fast throughput
+	// returned to steady state after the run's last heal event.
+	Recovered   bool
+	RecoverySec float64
+	// Windows is the windowed throughput/latency timeline (nil when not
+	// collected).
+	Windows []WindowStat
 }
 
 // ClientSummary is one client's online aggregation of a benchmark phase:
@@ -327,13 +337,17 @@ type Result struct {
 	MFLSP50 Stats
 	MFLSP95 Stats
 	MFLSP99 Stats
+	// Availability and RecoverySec summarise the fault metrics across
+	// repetitions (RecoverySec over recovered repetitions only).
+	Availability Stats
+	RecoverySec  Stats
 
 	Repetitions []RepetitionResult
 }
 
 // Aggregate folds repetition results into a Result.
 func Aggregate(system, benchmark string, params map[string]string, reps []RepetitionResult) Result {
-	var tps, fls, dur, recv, exp, p50, p95, p99 []float64
+	var tps, fls, dur, recv, exp, p50, p95, p99, avail, recov []float64
 	for _, r := range reps {
 		tps = append(tps, r.TPS)
 		fls = append(fls, r.FLS)
@@ -343,20 +357,28 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		p50 = append(p50, r.P50)
 		p95 = append(p95, r.P95)
 		p99 = append(p99, r.P99)
+		if r.Windows != nil { // fault metrics exist only with a timeline
+			avail = append(avail, r.Availability)
+			if r.Recovered {
+				recov = append(recov, r.RecoverySec)
+			}
+		}
 	}
 	return Result{
-		System:      system,
-		Benchmark:   benchmark,
-		Params:      params,
-		MTPS:        Summarize(tps),
-		MFLS:        Summarize(fls),
-		Duration:    Summarize(dur),
-		Received:    Summarize(recv),
-		Expected:    Summarize(exp),
-		MFLSP50:     Summarize(p50),
-		MFLSP95:     Summarize(p95),
-		MFLSP99:     Summarize(p99),
-		Repetitions: reps,
+		System:       system,
+		Benchmark:    benchmark,
+		Params:       params,
+		MTPS:         Summarize(tps),
+		MFLS:         Summarize(fls),
+		Duration:     Summarize(dur),
+		Received:     Summarize(recv),
+		Expected:     Summarize(exp),
+		MFLSP50:      Summarize(p50),
+		MFLSP95:      Summarize(p95),
+		MFLSP99:      Summarize(p99),
+		Availability: Summarize(avail),
+		RecoverySec:  Summarize(recov),
+		Repetitions:  reps,
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/faults"
 	"github.com/coconut-bench/coconut/internal/systems"
 )
 
@@ -49,6 +50,14 @@ type RunConfig struct {
 	QuiesceTimeout time.Duration
 	// Repetitions is r in the paper's formulas (paper: 3).
 	Repetitions int
+	// Faults, when set, is the chaos schedule injected during every
+	// benchmark phase; event offsets are relative to load start. The
+	// injector restores full health at phase end, so unit members stay
+	// independent.
+	Faults *faults.Schedule
+	// FaultWindow is the timeline bucket width for the windowed
+	// throughput/latency measurement plane. Default SendDuration/20.
+	FaultWindow time.Duration
 	// Params echoes configuration knobs into the result rows.
 	Params map[string]string
 	// Clock is the time source.
@@ -105,6 +114,12 @@ func Run(cfg RunConfig) ([]Result, error) {
 // runRepetition provisions one fresh system and runs every unit member.
 func runRepetition(cfg RunConfig, rep int) (map[BenchmarkName]RepetitionResult, error) {
 	driver := cfg.NewDriver()
+	if cfg.Faults != nil {
+		runLen := cfg.SendDuration + cfg.ListenGrace
+		if err := cfg.Faults.Validate(runLen, driver.NodeCount()); err != nil {
+			return nil, err
+		}
+	}
 	if err := driver.Start(); err != nil {
 		return nil, fmt.Errorf("start driver: %w", err)
 	}
@@ -157,6 +172,20 @@ func quiesce(cfg RunConfig, driver systems.Driver) {
 // finalize, keeping memory bounded by the in-flight window); the summaries
 // merge lock-free at phase end into the repetition's metrics.
 func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep int, readMax [][]uint64) (RepetitionResult, [][]uint64) {
+	// The windowed measurement plane spans the whole phase (plus one
+	// window of slack for late replay bursts at the horizon edge). It is
+	// collected when fault measurement is requested — a schedule or an
+	// explicit window — so the paper-grid hot path carries zero overhead.
+	var timeline *Timeline
+	window := cfg.FaultWindow
+	if window <= 0 {
+		window = cfg.SendDuration / 20
+	}
+	if cfg.Faults != nil || cfg.FaultWindow > 0 {
+		loadStart := cfg.Clock.Now()
+		timeline = NewTimeline(loadStart, window, cfg.SendDuration+cfg.ListenGrace+window)
+	}
+
 	clients := make([]*Client, cfg.Clients)
 	for i := 0; i < cfg.Clients; i++ {
 		var rm []uint64
@@ -182,6 +211,7 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 			ListenGrace:     cfg.ListenGrace,
 			ReadMax:         rm,
 			DiscardRecords:  true,
+			Timeline:        timeline,
 			Clock:           cfg.Clock,
 		})
 	}
@@ -202,14 +232,38 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 			sums[i] = cl.Summary()
 		}()
 	}
+
+	// The fault timeline starts with the load; Stop restores full health
+	// before quiescence so the next unit member sees a pristine system.
+	var injector *faults.Injector
+	if cfg.Faults != nil {
+		injector = faults.NewInjector(driver, *cfg.Faults, cfg.Clock)
+		injector.Start()
+	}
 	close(start)
 	wg.Wait()
+	if injector != nil {
+		injector.Stop()
+	}
 
 	written := make([][]uint64, len(clients))
 	for i, cl := range clients {
 		written[i] = cl.ReceivedCounts()
 	}
-	return CombineSummaries(sums), written
+	rr := CombineSummaries(sums)
+	if timeline != nil {
+		var faultAt, healAt time.Duration
+		bounded := false
+		if cfg.Faults != nil {
+			faultAt, healAt, bounded = cfg.Faults.Bounds()
+		}
+		fm := ComputeFaultMetrics(timeline, faultAt, healAt, bounded)
+		rr.Availability = fm.Availability
+		rr.Recovered = fm.Recovered
+		rr.RecoverySec = fm.RecoverySec
+		rr.Windows = fm.Windows
+	}
+	return rr, written
 }
 
 func decrementCounts(in [][]uint64) [][]uint64 {

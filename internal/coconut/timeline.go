@@ -1,0 +1,229 @@
+package coconut
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Timeline is the windowed measurement plane: sends and confirmations are
+// bucketed into fixed-width time windows as they happen (two atomic adds
+// per transaction), so a faulted run produces a throughput/latency timeline
+// and derived availability and recovery statistics instead of a single
+// aggregate number. One Timeline is shared by every client of a benchmark
+// phase.
+type Timeline struct {
+	start  time.Time
+	window time.Duration
+	sent   []atomic.Int64
+	recv   []atomic.Int64
+	latNs  []atomic.Int64
+}
+
+// NewTimeline creates a timeline starting at start, covering horizon with
+// buckets of the given window width. Observations past the horizon clamp
+// into the last bucket.
+func NewTimeline(start time.Time, window, horizon time.Duration) *Timeline {
+	if window <= 0 {
+		window = time.Second
+	}
+	n := int(horizon/window) + 1
+	if n < 1 {
+		n = 1
+	}
+	return &Timeline{
+		start:  start,
+		window: window,
+		sent:   make([]atomic.Int64, n),
+		recv:   make([]atomic.Int64, n),
+		latNs:  make([]atomic.Int64, n),
+	}
+}
+
+// Window returns the bucket width.
+func (t *Timeline) Window() time.Duration { return t.window }
+
+func (t *Timeline) idx(at time.Time) int {
+	i := int(at.Sub(t.start) / t.window)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(t.sent) {
+		i = len(t.sent) - 1
+	}
+	return i
+}
+
+// RecordSend streams one submission of ops payloads.
+func (t *Timeline) RecordSend(at time.Time, ops int) {
+	t.sent[t.idx(at)].Add(int64(ops))
+}
+
+// RecordRecv streams one confirmation of ops payloads with its end-to-end
+// finalization latency. Latency is weighted by ops so MeanFLS stays a
+// per-payload mean when transactions carry several operations.
+func (t *Timeline) RecordRecv(at time.Time, ops int, fls time.Duration) {
+	i := t.idx(at)
+	t.recv[i].Add(int64(ops))
+	t.latNs[i].Add(int64(fls) * int64(ops))
+}
+
+// WindowStat is one timeline bucket.
+type WindowStat struct {
+	// Start is the bucket's offset from load start.
+	Start time.Duration
+	// Sent and Received count payloads submitted and confirmed in the
+	// bucket (confirmations bucket by arrival time).
+	Sent     int
+	Received int
+	// MeanFLS is the mean finalization latency of the bucket's
+	// confirmations, in seconds (0 when none arrived).
+	MeanFLS float64
+}
+
+// Snapshot renders the timeline, trimmed of trailing buckets with no
+// activity.
+func (t *Timeline) Snapshot() []WindowStat {
+	last := -1
+	for i := range t.sent {
+		if t.sent[i].Load() > 0 || t.recv[i].Load() > 0 {
+			last = i
+		}
+	}
+	out := make([]WindowStat, last+1)
+	for i := range out {
+		recv := t.recv[i].Load()
+		ws := WindowStat{
+			Start:    time.Duration(i) * t.window,
+			Sent:     int(t.sent[i].Load()),
+			Received: int(recv),
+		}
+		if recv > 0 {
+			ws.MeanFLS = (time.Duration(t.latNs[i].Load() / recv)).Seconds()
+		}
+		out[i] = ws
+	}
+	return out
+}
+
+// minOutageWindows is the shortest run of consecutive zero-confirmation
+// windows that counts as an outage. A single empty window between busy
+// neighbours is jitter (slow systems confirm in coarse bursts — Corda OS
+// finishes a handful of flows per second, Diem spikes); two or more in a
+// row is silence.
+const minOutageWindows = 2
+
+// FaultMetrics are the availability and recovery statistics derived from a
+// timeline, optionally anchored to a fault window.
+type FaultMetrics struct {
+	// Availability is 1 minus the fraction of outage windows within the
+	// confirmation span (first to last window with confirmations). An
+	// outage window is a zero-confirmation window inside a run of at least
+	// minOutageWindows such windows. A healthy run reports 1.
+	Availability float64
+	// Recovered reports whether confirmation throughput returned to at
+	// least half the pre-fault steady-state rate after the last heal.
+	Recovered bool
+	// RecoverySec is the time from the last heal to the end of the first
+	// window whose confirmations reached that threshold (0 when the run
+	// had no faults; meaningless when Recovered is false).
+	RecoverySec float64
+	// Windows is the full timeline.
+	Windows []WindowStat
+}
+
+// ComputeFaultMetrics derives availability and recovery from a timeline.
+// faultAt and healAt are the offsets (from load start) of the first fault
+// event and of the last recovering event; pass ok=false for a no-fault
+// run, which reports RecoverySec 0 and Recovered true.
+func ComputeFaultMetrics(t *Timeline, faultAt, healAt time.Duration, ok bool) FaultMetrics {
+	fm := FaultMetrics{Windows: t.Snapshot(), Recovered: true}
+	fm.Availability = availability(fm.Windows)
+	if !ok {
+		return fm
+	}
+
+	// Steady-state baseline: the median confirmation count over the
+	// pre-fault windows of the confirmation span.
+	first, last := span(fm.Windows)
+	if first < 0 {
+		fm.Recovered = false
+		return fm
+	}
+	var pre []int
+	for i := first; i <= last; i++ {
+		if fm.Windows[i].Start+t.window <= faultAt {
+			pre = append(pre, fm.Windows[i].Received)
+		}
+	}
+	threshold := medianInt(pre) / 2
+	if threshold < 1 {
+		threshold = 1
+	}
+
+	fm.Recovered = false
+	for i := range fm.Windows {
+		end := fm.Windows[i].Start + t.window
+		if end <= healAt {
+			continue
+		}
+		if fm.Windows[i].Received >= threshold {
+			fm.Recovered = true
+			fm.RecoverySec = (end - healAt).Seconds()
+			break
+		}
+	}
+	return fm
+}
+
+// span returns the first and last window indices with confirmations, or
+// (-1, -1) when nothing was confirmed.
+func span(ws []WindowStat) (first, last int) {
+	first, last = -1, -1
+	for i := range ws {
+		if ws[i].Received > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	return first, last
+}
+
+// availability computes 1 - outage fraction over the confirmation span.
+func availability(ws []WindowStat) float64 {
+	first, last := span(ws)
+	if first < 0 {
+		return 0
+	}
+	total := last - first + 1
+	outage := 0
+	run := 0
+	flush := func() {
+		if run >= minOutageWindows {
+			outage += run
+		}
+		run = 0
+	}
+	for i := first; i <= last; i++ {
+		if ws[i].Received == 0 {
+			run++
+			continue
+		}
+		flush()
+	}
+	flush()
+	return 1 - float64(outage)/float64(total)
+}
+
+// medianInt returns the median of vs (0 for an empty slice).
+func medianInt(vs []int) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]int, len(vs))
+	copy(sorted, vs)
+	sort.Ints(sorted)
+	return sorted[len(sorted)/2]
+}

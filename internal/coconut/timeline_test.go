@@ -1,0 +1,112 @@
+package coconut
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimelineBucketsSendsAndRecvs(t *testing.T) {
+	base := time.Unix(100, 0)
+	tl := NewTimeline(base, 100*time.Millisecond, time.Second)
+
+	tl.RecordSend(base, 2)
+	tl.RecordSend(base.Add(150*time.Millisecond), 1)
+	tl.RecordRecv(base.Add(160*time.Millisecond), 1, 10*time.Millisecond)
+	tl.RecordRecv(base.Add(180*time.Millisecond), 1, 30*time.Millisecond)
+	// Out-of-range observations clamp instead of panicking.
+	tl.RecordRecv(base.Add(-time.Second), 1, time.Millisecond)
+	tl.RecordRecv(base.Add(time.Hour), 1, time.Millisecond)
+
+	ws := tl.Snapshot()
+	if len(ws) != 11 { // clamped far-future recv lands in the last bucket
+		t.Fatalf("windows = %d, want 11", len(ws))
+	}
+	if ws[0].Sent != 2 || ws[0].Received != 1 {
+		t.Fatalf("window 0 = %+v", ws[0])
+	}
+	if ws[1].Sent != 1 || ws[1].Received != 2 {
+		t.Fatalf("window 1 = %+v", ws[1])
+	}
+	if got, want := ws[1].MeanFLS, 0.020; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("window 1 mean FLS = %v, want %v", got, want)
+	}
+}
+
+func TestTimelineMeanFLSIsPerPayload(t *testing.T) {
+	base := time.Unix(0, 0)
+	tl := NewTimeline(base, 100*time.Millisecond, time.Second)
+	// One 5-op transaction at 2s latency: the per-payload mean is still 2s.
+	tl.RecordRecv(base, 5, 2*time.Second)
+	ws := tl.Snapshot()
+	if got := ws[0].MeanFLS; got != 2.0 {
+		t.Fatalf("MeanFLS = %v, want 2 (per-payload, not latency/ops)", got)
+	}
+}
+
+// synthetic builds a timeline from per-window received counts.
+func synthetic(recv []int) *Timeline {
+	base := time.Unix(0, 0)
+	w := 100 * time.Millisecond
+	tl := NewTimeline(base, w, time.Duration(len(recv))*w)
+	for i, r := range recv {
+		at := base.Add(time.Duration(i)*w + w/2)
+		tl.RecordSend(at, 1)
+		if r > 0 {
+			tl.RecordRecv(at, r, time.Millisecond)
+		}
+	}
+	return tl
+}
+
+func TestAvailabilityHealthyIsOne(t *testing.T) {
+	tl := synthetic([]int{5, 5, 5, 5, 5, 5})
+	fm := ComputeFaultMetrics(tl, 0, 0, false)
+	if fm.Availability != 1 {
+		t.Fatalf("healthy availability = %v, want 1", fm.Availability)
+	}
+	if !fm.Recovered || fm.RecoverySec != 0 {
+		t.Fatalf("healthy run: recovered = %v, recovery = %v, want true, 0", fm.Recovered, fm.RecoverySec)
+	}
+}
+
+func TestAvailabilityIgnoresIsolatedEmptyWindows(t *testing.T) {
+	// Slow systems confirm in coarse bursts: a lone empty window between
+	// busy neighbours is jitter, not an outage.
+	tl := synthetic([]int{5, 0, 5, 0, 5, 5})
+	fm := ComputeFaultMetrics(tl, 0, 0, false)
+	if fm.Availability != 1 {
+		t.Fatalf("availability = %v, want 1 (isolated gaps are not outages)", fm.Availability)
+	}
+}
+
+func TestAvailabilityCountsSustainedOutage(t *testing.T) {
+	// 10 windows in span, 4 consecutive zeros: availability 0.6.
+	tl := synthetic([]int{5, 5, 5, 0, 0, 0, 0, 5, 5, 5})
+	fm := ComputeFaultMetrics(tl, 0, 0, false)
+	if got, want := fm.Availability, 0.6; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("availability = %v, want %v", got, want)
+	}
+}
+
+func TestRecoveryAfterHeal(t *testing.T) {
+	// Fault at 300ms, heal at 600ms; throughput returns in the window
+	// [700ms, 800ms) — two windows after the heal.
+	tl := synthetic([]int{6, 6, 6, 0, 0, 0, 0, 6, 6, 6})
+	fm := ComputeFaultMetrics(tl, 300*time.Millisecond, 600*time.Millisecond, true)
+	if !fm.Recovered {
+		t.Fatal("run did not report recovery")
+	}
+	if got, want := fm.RecoverySec, 0.2; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("recovery = %vs, want %vs", got, want)
+	}
+}
+
+func TestRecoveryNeverReached(t *testing.T) {
+	// After the heal the system stays silent: finite recovery must not be
+	// reported.
+	tl := synthetic([]int{6, 6, 6, 0, 0, 0, 0, 0, 0, 0})
+	fm := ComputeFaultMetrics(tl, 300*time.Millisecond, 600*time.Millisecond, true)
+	if fm.Recovered {
+		t.Fatalf("dead system reported recovery after %vs", fm.RecoverySec)
+	}
+}

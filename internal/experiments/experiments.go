@@ -12,6 +12,12 @@
 // latency vs. block interval — while MTPS remains directly comparable
 // (transactions per second is scale-free) and latencies/durations convert
 // back through 1/Scale.
+//
+// Beyond the paper's grid, RunFaultScenario subjects every system to
+// scripted fault schedules (node crashes, partitions, degraded links) and
+// reports windowed availability and post-heal recovery time. The paper
+// benchmarks healthy 4-node networks only, so these scenarios have no
+// paper-vs-measured reference rows.
 package experiments
 
 import (

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/faults"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+// FaultOutcome is one system's result under a chaos schedule.
+type FaultOutcome struct {
+	System string
+	Preset string
+	Result coconut.Result
+}
+
+// FaultScenarioSystems lists the systems the fault scenarios compare, in
+// report order.
+var FaultScenarioSystems = []string{
+	systems.NameFabric,
+	systems.NameQuorum,
+	systems.NameSawtooth,
+	systems.NameCordaOS,
+	systems.NameCordaEnt,
+	systems.NameDiem,
+	systems.NameBitShares,
+}
+
+// RunFaultScenario runs the DoNothing benchmark for every system under the
+// named fault preset (crash-minority, partition-heal, degraded-wan) and
+// reports MTPS and latency alongside the windowed availability and the
+// post-heal recovery time. Fault scenarios are beyond the paper's grid —
+// the paper benchmarks healthy 4-node networks only — so the rows carry no
+// paper reference values.
+func RunFaultScenario(preset string, o Options, w io.Writer) ([]FaultOutcome, error) {
+	o.fill()
+	sendDur := o.paperDur(o.SendSeconds)
+	sched, err := faults.NewPreset(preset, o.Nodes, sendDur)
+	if err != nil {
+		return nil, err
+	}
+
+	if _, err := fmt.Fprintf(w, "%-18s %9s %9s %9s %7s %10s %12s\n",
+		"system", "MTPS", "MFLS", "P95", "avail", "recovery", "received"); err != nil {
+		return nil, err
+	}
+
+	var outcomes []FaultOutcome
+	for _, system := range FaultScenarioSystems {
+		newDriver, err := NewDriverFunc(system, Params{RL: 200}, o)
+		if err != nil {
+			return nil, err
+		}
+		arrival, err := o.arrivalSchedule()
+		if err != nil {
+			return nil, err
+		}
+		results, err := coconut.Run(coconut.RunConfig{
+			SystemName:      system,
+			NewDriver:       newDriver,
+			Unit:            []coconut.BenchmarkName{coconut.BenchDoNothing},
+			Clients:         4,
+			RateLimit:       50, // 200 total across the four clients
+			Arrival:         arrival,
+			ArrivalSeed:     o.Seed,
+			WorkloadThreads: 4,
+			SendDuration:    sendDur,
+			ListenGrace:     o.paperDur(o.GraceSeconds),
+			Repetitions:     o.Repetitions,
+			Faults:          &sched,
+			Params:          map[string]string{"RL": "200", "faults": preset},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s under %s: %w", system, preset, err)
+		}
+		r := results[0]
+		outcomes = append(outcomes, FaultOutcome{System: system, Preset: preset, Result: r})
+		if _, err := fmt.Fprintf(w, "%-18s %9.2f %8.2fs %8.2fs %6.0f%% %10s %11.0f%%\n",
+			system, r.MTPS.Mean, r.MFLS.Mean, r.MFLSP95.Mean,
+			100*r.Availability.Mean, recoveryLabel(r),
+			100*safeRatio(r.Received.Mean, r.Expected.Mean)); err != nil {
+			return nil, err
+		}
+	}
+	return outcomes, nil
+}
+
+// recoveryLabel renders the mean post-heal recovery time, or "∞" when no
+// repetition recovered.
+func recoveryLabel(r coconut.Result) string {
+	if r.RecoverySec.N == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2fs", r.RecoverySec.Mean)
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// WriteFaultReport renders fault outcomes as a markdown table for
+// EXPERIMENTS.md-style reports.
+func WriteFaultReport(w io.Writer, title string, outcomes []FaultOutcome) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| System | MTPS | MFLS | Availability | Recovery | Received/Expected |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---:|---:|---:|---:|---:|"); err != nil {
+		return err
+	}
+	for _, oc := range outcomes {
+		r := oc.Result
+		if _, err := fmt.Fprintf(w, "| %s | %.2f | %.2fs | %.0f%% | %s | %.0f/%.0f |\n",
+			oc.System, r.MTPS.Mean, r.MFLS.Mean, 100*r.Availability.Mean,
+			recoveryLabel(r), r.Received.Mean, r.Expected.Mean); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -41,14 +42,25 @@ type Transport struct {
 	mu        sync.RWMutex
 	endpoints map[string]*endpoint
 	cut       map[linkKey]bool
+	degraded  map[linkKey]Degradation
 	stopped   bool
 
 	wg sync.WaitGroup
 
 	statsMu   sync.Mutex
+	lossRng   *rand.Rand
 	sent      uint64
 	delivered uint64
 	dropped   uint64
+	lost      uint64
+}
+
+// Degradation models a lossy, slow link: every message gains Extra one-way
+// delay on top of the latency model, and is silently lost with probability
+// Loss (the sender still sees a successful send, as with a real network).
+type Degradation struct {
+	Extra time.Duration
+	Loss  float64
 }
 
 type endpoint struct {
@@ -82,6 +94,8 @@ func NewTransport(clk clock.Clock, latency LatencyModel) *Transport {
 		latency:   latency,
 		endpoints: make(map[string]*endpoint),
 		cut:       make(map[linkKey]bool),
+		degraded:  make(map[linkKey]Degradation),
+		lossRng:   rand.New(rand.NewSource(0x10551)), // deterministic loss draws
 	}
 }
 
@@ -144,6 +158,7 @@ func (t *Transport) Send(from, to, kind string, payload any) error {
 		t.mu.RUnlock()
 		return ErrLinkDown
 	}
+	deg, isDegraded := t.degraded[linkKey{from, to}]
 	ep, ok := t.endpoints[to]
 	t.mu.RUnlock()
 	if !ok {
@@ -151,6 +166,10 @@ func (t *Transport) Send(from, to, kind string, payload any) error {
 	}
 
 	now := t.clk.Now()
+	delay := t.latency.Delay(from, to)
+	if isDegraded {
+		delay += deg.Extra
+	}
 	q := queued{
 		msg: Message{
 			From:    from,
@@ -159,11 +178,19 @@ func (t *Transport) Send(from, to, kind string, payload any) error {
 			Payload: payload,
 			SentAt:  now,
 		},
-		readyAt: now.Add(t.latency.Delay(from, to)),
+		readyAt: now.Add(delay),
 	}
 
 	t.statsMu.Lock()
 	t.sent++
+	if isDegraded && deg.Loss > 0 && t.lossRng.Float64() < deg.Loss {
+		// Lossy link: the message vanishes in flight. The sender sees a
+		// successful send, as it would on a real network.
+		t.dropped++
+		t.lost++
+		t.statsMu.Unlock()
+		return nil
+	}
 	t.statsMu.Unlock()
 
 	select {
@@ -222,6 +249,60 @@ func (t *Transport) Isolate(name string) {
 		t.cut[linkKey{name, other}] = true
 		t.cut[linkKey{other, name}] = true
 	}
+}
+
+// HealAll undoes every CutLink and Isolate in one step and clears all link
+// degradations, restoring the pristine fabric. It is the wholesale
+// counterpart of HealLink: Isolate cuts 2(n-1) directed links at once and
+// previously had no inverse.
+func (t *Transport) HealAll() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut = make(map[linkKey]bool)
+	t.degraded = make(map[linkKey]Degradation)
+}
+
+// DegradeLink makes the directed link src→dst slow and lossy: subsequent
+// messages gain extra one-way delay and are lost with probability loss
+// (clamped to [0, 1]). A zero Degradation restores the link; HealAll clears
+// every degradation.
+func (t *Transport) DegradeLink(src, dst string, extra time.Duration, loss float64) {
+	if loss < 0 {
+		loss = 0
+	}
+	if loss > 1 {
+		loss = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if extra <= 0 && loss == 0 {
+		delete(t.degraded, linkKey{src, dst})
+		return
+	}
+	t.degraded[linkKey{src, dst}] = Degradation{Extra: extra, Loss: loss}
+}
+
+// CutCount reports how many directed links are currently cut, and
+// DegradedCount how many carry a degradation.
+func (t *Transport) CutCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.cut)
+}
+
+// DegradedCount reports how many directed links carry a degradation.
+func (t *Transport) DegradedCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.degraded)
+}
+
+// LostCount reports messages lost to link degradation (a subset of the
+// dropped counter in Stats).
+func (t *Transport) LostCount() uint64 {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.lost
 }
 
 // Stats reports send/delivery counters.

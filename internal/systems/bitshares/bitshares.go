@@ -27,6 +27,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/consensus"
 	"github.com/coconut-bench/coconut/internal/consensus/dpos"
+	"github.com/coconut-bench/coconut/internal/crypto"
 	"github.com/coconut-bench/coconut/internal/iel"
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
@@ -79,6 +80,7 @@ type node struct {
 	engine  *dpos.Engine
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
+	gate    systems.NodeGate
 }
 
 // Network is a full BitShares deployment.
@@ -207,7 +209,11 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 		return consensus.ErrNotRunning
 	}
 	n.mu.Unlock()
-	return n.nodes[entryNode%len(n.nodes)].engine.Submit(tx)
+	nd := n.nodes[entryNode%len(n.nodes)]
+	if nd.gate.Down() {
+		return systems.ErrNodeDown // the client's API node is unreachable
+	}
+	return nd.engine.Submit(tx)
 }
 
 // conflictFilter implements the paper's interacting-operation exclusion: a
@@ -264,41 +270,83 @@ func (n *Network) conflictFilter(items []any) (included, excluded []any) {
 
 // makeDecideFunc builds the per-node commit pipeline: apply each
 // transaction atomically; a failed operation discards the whole
-// transaction without a client event.
+// transaction without a client event. The pipeline is gated per node: a
+// crashed node buffers produced blocks and replays them on restart
+// (Graphene's chain resync).
 func (n *Network) makeDecideFunc(nd *node) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		blk, ok := d.Payload.(dpos.ProducedBlock)
+		nd.gate.Do(func() { n.applyDecision(nd, d) })
+	}
+}
+
+func (n *Network) applyDecision(nd *node, d consensus.Decision) {
+	blk, ok := d.Payload.(dpos.ProducedBlock)
+	if !ok {
+		return
+	}
+	var surviving []*chain.Transaction
+	for _, it := range blk.Items {
+		tx, ok := it.(*chain.Transaction)
 		if !ok {
-			return
+			continue
 		}
-		var surviving []*chain.Transaction
-		for _, it := range blk.Items {
-			tx, ok := it.(*chain.Transaction)
-			if !ok {
-				continue
-			}
-			if txExecutes(tx, nd.state) {
-				surviving = append(surviving, tx)
-			}
-		}
-		ts := time.Unix(0, int64(blk.Slot)) // deterministic per-slot stamp
-		cb := chain.NewBlock(nd.ledger.Head(), blk.Witness, ts, surviving)
-		if err := nd.ledger.Append(cb); err != nil {
-			return
-		}
-		now := n.cfg.Clock.Now()
-		for txNum, tx := range surviving {
-			applyTx(tx, nd.state, cb.Number, txNum)
-			nd.hubNode.Committed(systems.Event{
-				TxID:      tx.ID,
-				Client:    tx.Client,
-				Committed: true,
-				ValidOK:   true,
-				OpCount:   tx.OpCount(),
-				BlockNum:  cb.Number,
-			}, now)
+		if txExecutes(tx, nd.state) {
+			surviving = append(surviving, tx)
 		}
 	}
+	ts := time.Unix(0, int64(blk.Slot)) // deterministic per-slot stamp
+	cb := chain.NewBlock(nd.ledger.Head(), blk.Witness, ts, surviving)
+	if err := nd.ledger.Append(cb); err != nil {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	for txNum, tx := range surviving {
+		applyTx(tx, nd.state, cb.Number, txNum)
+		nd.hubNode.Committed(systems.Event{
+			TxID:      tx.ID,
+			Client:    tx.Client,
+			Committed: true,
+			ValidOK:   true,
+			OpCount:   tx.OpCount(),
+			BlockNum:  cb.Number,
+		}, now)
+	}
+}
+
+// CrashNode implements systems.Driver: the node's commit plane stops and
+// its API endpoint rejects transactions; produced blocks buffer.
+func (n *Network) CrashNode(node int) error {
+	if node < 0 || node >= len(n.nodes) {
+		return fmt.Errorf("%w: node %d of %d", systems.ErrNodeDown, node, len(n.nodes))
+	}
+	n.nodes[node].gate.Crash()
+	return nil
+}
+
+// RestartNode implements systems.Driver: the node replays the blocks it
+// missed in slot order (Graphene's resync) and resumes.
+func (n *Network) RestartNode(node int) error {
+	if node < 0 || node >= len(n.nodes) {
+		return fmt.Errorf("%w: node %d of %d", systems.ErrNodeDown, node, len(n.nodes))
+	}
+	n.nodes[node].gate.Restart()
+	return nil
+}
+
+// FaultTransport exposes the shared fabric for link-level fault injection.
+func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeEndpoints maps node i to its transport endpoint.
+func (n *Network) NodeEndpoints(node int) []string {
+	if node < 0 || node >= len(n.nodes) {
+		return nil
+	}
+	return []string{n.nodes[node].id}
+}
+
+// LedgerHead returns node i's chain head hash (for convergence checks).
+func (n *Network) LedgerHead(i int) crypto.Hash {
+	return n.nodes[i%len(n.nodes)].ledger.Head().Hash
 }
 
 // txExecutes dry-runs every operation of an atomic transaction.

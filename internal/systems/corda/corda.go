@@ -23,6 +23,7 @@ package corda
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/chain"
@@ -149,6 +150,7 @@ type node struct {
 	hubNode *systems.HubNode
 	vault   *chain.Vault
 	queue   chan flowJob
+	gate    systems.NodeGate
 }
 
 // Network is a full Corda deployment (either edition).
@@ -270,6 +272,9 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 	n.mu.Unlock()
 
 	nd := n.nodes[entryNode%len(n.nodes)]
+	if nd.gate.Down() {
+		return systems.ErrNodeDown // the RPC connection is refused
+	}
 	select {
 	case nd.queue <- flowJob{tx: tx}:
 		return nil
@@ -317,6 +322,13 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 	}
 	txID := flowTxID(tx, utx)
 	_, err = notary.CollectSignatures(mode, parties, txID, func(party string, id crypto.Hash) (crypto.Signature, error) {
+		// Corda requires every counterparty's signature: a crashed signer
+		// fails the whole flow, so one node outage halts all write flows —
+		// the flip side of the paper's §6 observation that requiring fewer
+		// signers is where Corda's scalability lies.
+		if p := n.nodeByID(party); p != nil && p.gate.Down() {
+			return crypto.Signature{}, fmt.Errorf("corda: counterparty %s unreachable", party)
+		}
 		// One round trip to the counterparty plus its flow processing.
 		rtt := n.cfg.Latency.Delay(entry.id, party) + n.cfg.Latency.Delay(party, entry.id)
 		n.cfg.Clock.Sleep(rtt + n.cfg.SignProcessing)
@@ -360,17 +372,60 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		n.hub.EmitDirect(ev, now)
 		return
 	}
+	// One flow counts as one failure no matter how many vaults reject its
+	// states; the flag is atomic because a crashed node's deferred apply
+	// replays on the restart goroutine.
+	var failed atomic.Bool
 	for _, nd := range n.nodes {
+		nd := nd
 		if nd != entry {
 			// State distribution crosses the network once per node.
 			n.cfg.Clock.Sleep(n.cfg.Latency.Delay(entry.id, nd.id))
 		}
-		if err := nd.vault.Apply(utx); err != nil {
-			n.recordFailure()
-			return
-		}
-		nd.hubNode.Committed(ev, n.cfg.Clock.Now())
+		// A node that crashed between signing and finality receives the
+		// states when it restarts (Corda's message-queue redelivery).
+		nd.gate.Do(func() {
+			if err := nd.vault.Apply(utx); err != nil {
+				if !failed.Swap(true) {
+					n.recordFailure()
+				}
+				return
+			}
+			nd.hubNode.Committed(ev, n.cfg.Clock.Now())
+		})
 	}
+}
+
+// nodeByID resolves a node by its identity.
+func (n *Network) nodeByID(id string) *node {
+	for _, nd := range n.nodes {
+		if nd.id == id {
+			return nd
+		}
+	}
+	return nil
+}
+
+// CrashNode implements systems.Driver: the node refuses flow submissions
+// and signature requests; pending state distributions buffer until restart.
+// Because every flow needs every node's signature, one crashed node halts
+// all write flows network-wide.
+func (n *Network) CrashNode(node int) error {
+	if node < 0 || node >= len(n.nodes) {
+		return fmt.Errorf("%w: node %d of %d", systems.ErrNodeDown, node, len(n.nodes))
+	}
+	n.nodes[node].gate.Crash()
+	return nil
+}
+
+// RestartNode implements systems.Driver: the node applies the state
+// distributions it missed (message-queue redelivery) and resumes signing.
+func (n *Network) RestartNode(node int) error {
+	if node < 0 || node >= len(n.nodes) {
+		return fmt.Errorf("%w: node %d of %d", systems.ErrNodeDown, node, len(n.nodes))
+	}
+	n.nodes[node].gate.Restart()
+	return nil
 }
 
 // buildTransaction translates an IEL operation into a UTXO transaction,

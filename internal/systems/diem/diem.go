@@ -23,6 +23,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/consensus"
 	"github.com/coconut-bench/coconut/internal/consensus/diembft"
+	"github.com/coconut-bench/coconut/internal/crypto"
 	"github.com/coconut-bench/coconut/internal/iel"
 	"github.com/coconut-bench/coconut/internal/mempool"
 	"github.com/coconut-bench/coconut/internal/network"
@@ -88,6 +89,7 @@ type validator struct {
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
 	pool    *mempool.Pool[*chain.Transaction]
+	gate    systems.NodeGate
 
 	mu         sync.Mutex
 	spikeUntil time.Time
@@ -205,6 +207,9 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 	n.mu.Unlock()
 
 	v := n.validators[entryNode%len(n.validators)]
+	if v.gate.Down() {
+		return systems.ErrNodeDown // the admission endpoint is unreachable
+	}
 	return v.pool.Add(tx)
 }
 
@@ -244,34 +249,77 @@ func (n *Network) spiking(v *validator) bool {
 }
 
 // makeDecideFunc builds the commit pipeline: execute in order, append to the
-// ledger, report per-transaction commits.
+// ledger, report per-transaction commits. The pipeline is gated per
+// validator: a crashed validator buffers decided blocks and replays them on
+// restart (Diem's state sync).
 func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		blk, ok := d.Payload.(proposedBlock)
-		if !ok {
-			return
-		}
-		cb := chain.NewBlock(v.ledger.Head(), blk.Proposer, blk.FormedAt, blk.Txs)
-		if err := v.ledger.Append(cb); err != nil {
-			return
-		}
-		now := n.cfg.Clock.Now()
-		for txNum, tx := range blk.Txs {
-			execErr := executeTx(tx, v.state, cb.Number, txNum)
-			ev := systems.Event{
-				TxID:      tx.ID,
-				Client:    tx.Client,
-				Committed: true,
-				ValidOK:   execErr == nil,
-				OpCount:   tx.OpCount(),
-				BlockNum:  cb.Number,
-			}
-			if execErr != nil {
-				ev.Reason = execErr.Error()
-			}
-			v.hubNode.Committed(ev, now)
-		}
+		v.gate.Do(func() { n.applyDecision(v, d) })
 	}
+}
+
+func (n *Network) applyDecision(v *validator, d consensus.Decision) {
+	blk, ok := d.Payload.(proposedBlock)
+	if !ok {
+		return
+	}
+	cb := chain.NewBlock(v.ledger.Head(), blk.Proposer, blk.FormedAt, blk.Txs)
+	if err := v.ledger.Append(cb); err != nil {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	for txNum, tx := range blk.Txs {
+		execErr := executeTx(tx, v.state, cb.Number, txNum)
+		ev := systems.Event{
+			TxID:      tx.ID,
+			Client:    tx.Client,
+			Committed: true,
+			ValidOK:   execErr == nil,
+			OpCount:   tx.OpCount(),
+			BlockNum:  cb.Number,
+		}
+		if execErr != nil {
+			ev.Reason = execErr.Error()
+		}
+		v.hubNode.Committed(ev, now)
+	}
+}
+
+// CrashNode implements systems.Driver: the validator's commit plane stops
+// and its admission endpoint rejects transactions; decided blocks buffer.
+func (n *Network) CrashNode(node int) error {
+	if node < 0 || node >= len(n.validators) {
+		return fmt.Errorf("%w: validator %d of %d", systems.ErrNodeDown, node, len(n.validators))
+	}
+	n.validators[node].gate.Crash()
+	return nil
+}
+
+// RestartNode implements systems.Driver: the validator replays the blocks
+// it missed in decision order (Diem's state sync) and resumes.
+func (n *Network) RestartNode(node int) error {
+	if node < 0 || node >= len(n.validators) {
+		return fmt.Errorf("%w: validator %d of %d", systems.ErrNodeDown, node, len(n.validators))
+	}
+	n.validators[node].gate.Restart()
+	return nil
+}
+
+// FaultTransport exposes the shared fabric for link-level fault injection.
+func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeEndpoints maps validator i to its transport endpoint.
+func (n *Network) NodeEndpoints(node int) []string {
+	if node < 0 || node >= len(n.validators) {
+		return nil
+	}
+	return []string{n.validators[node].id}
+}
+
+// LedgerHead returns validator i's chain head hash (for convergence
+// checks).
+func (n *Network) LedgerHead(i int) crypto.Hash {
+	return n.validators[i%len(n.validators)].ledger.Head().Hash
 }
 
 func executeTx(tx *chain.Transaction, st *statestore.KVStore, blockNum uint64, txNum int) error {

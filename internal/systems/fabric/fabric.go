@@ -23,6 +23,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/consensus"
 	"github.com/coconut-bench/coconut/internal/consensus/raft"
+	"github.com/coconut-bench/coconut/internal/crypto"
 	"github.com/coconut-bench/coconut/internal/iel"
 	"github.com/coconut-bench/coconut/internal/mempool"
 	"github.com/coconut-bench/coconut/internal/network"
@@ -108,6 +109,7 @@ type peer struct {
 	hubNode *systems.HubNode
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
+	gate    systems.NodeGate
 }
 
 // orderer couples an ordering-backend handle with a block cutter. With the
@@ -269,6 +271,9 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 	n.mu.Unlock()
 
 	p := n.peers[entryNode%len(n.peers)]
+	if p.gate.Down() {
+		return systems.ErrNodeDown // the client's endorsement RPC fails
+	}
 	env := n.endorse(p, tx)
 	o := n.orderers[entryNode%len(n.orderers)]
 	// Silent drop on overflow: Fabric's client SDK gets a broadcast ACK
@@ -383,42 +388,86 @@ func (n *Network) makeDecideFunc(i int) consensus.DecideFunc {
 }
 
 // commitBlock validates and applies one decided batch on every peer,
-// reporting per-transaction commits to the hub.
+// reporting per-transaction commits to the hub. A crashed peer's gate
+// buffers its share of the work until RestartNode replays it.
 func (n *Network) commitBlock(seq uint64, batch cutBatch) {
 	for _, p := range n.peers {
-		txs := make([]*chain.Transaction, len(batch.Envelopes))
-		for i, env := range batch.Envelopes {
-			txs[i] = env.Tx
-		}
-		blk := chain.NewBlock(p.ledger.Head(), batch.Cutter, batch.CutAt, txs)
-		if err := p.ledger.Append(blk); err != nil {
-			continue // stale duplicate
-		}
-		eventsLost := n.cfg.EventLossAtPeers > 0 && n.cfg.Peers >= n.cfg.EventLossAtPeers
-		now := n.cfg.Clock.Now()
-		for txNum, env := range batch.Envelopes {
-			validErr := env.RWSet.Validate(p.state)
-			if validErr == nil {
-				env.RWSet.Commit(p.state, statestore.Version{BlockNum: blk.Number, TxNum: txNum})
-			}
-			if eventsLost {
-				continue // committed on-chain, but the client never hears
-			}
-			ev := systems.Event{
-				TxID:      env.Tx.ID,
-				Client:    env.Tx.Client,
-				Committed: true, // appended to the chain regardless
-				ValidOK:   validErr == nil,
-				OpCount:   env.Tx.OpCount(),
-				BlockNum:  blk.Number,
-			}
-			if validErr != nil {
-				ev.Reason = validErr.Error()
-			}
-			p.hubNode.Committed(ev, now)
-		}
+		p := p
+		p.gate.Do(func() { n.commitOnPeer(p, batch) })
 	}
 }
+
+// commitOnPeer applies one decided batch on a single peer.
+func (n *Network) commitOnPeer(p *peer, batch cutBatch) {
+	txs := make([]*chain.Transaction, len(batch.Envelopes))
+	for i, env := range batch.Envelopes {
+		txs[i] = env.Tx
+	}
+	blk := chain.NewBlock(p.ledger.Head(), batch.Cutter, batch.CutAt, txs)
+	if err := p.ledger.Append(blk); err != nil {
+		return // stale duplicate
+	}
+	eventsLost := n.cfg.EventLossAtPeers > 0 && n.cfg.Peers >= n.cfg.EventLossAtPeers
+	now := n.cfg.Clock.Now()
+	for txNum, env := range batch.Envelopes {
+		validErr := env.RWSet.Validate(p.state)
+		if validErr == nil {
+			env.RWSet.Commit(p.state, statestore.Version{BlockNum: blk.Number, TxNum: txNum})
+		}
+		if eventsLost {
+			continue // committed on-chain, but the client never hears
+		}
+		ev := systems.Event{
+			TxID:      env.Tx.ID,
+			Client:    env.Tx.Client,
+			Committed: true, // appended to the chain regardless
+			ValidOK:   validErr == nil,
+			OpCount:   env.Tx.OpCount(),
+			BlockNum:  blk.Number,
+		}
+		if validErr != nil {
+			ev.Reason = validErr.Error()
+		}
+		p.hubNode.Committed(ev, now)
+	}
+}
+
+// CrashNode implements systems.Driver: the peer stops committing blocks and
+// rejects endorsement requests; decided blocks buffer for catch-up.
+func (n *Network) CrashNode(node int) error {
+	if node < 0 || node >= len(n.peers) {
+		return fmt.Errorf("%w: peer %d of %d", systems.ErrNodeDown, node, len(n.peers))
+	}
+	n.peers[node].gate.Crash()
+	return nil
+}
+
+// RestartNode implements systems.Driver: the peer replays the blocks it
+// missed (Fabric's deliver-service catch-up) and resumes committing.
+func (n *Network) RestartNode(node int) error {
+	if node < 0 || node >= len(n.peers) {
+		return fmt.Errorf("%w: peer %d of %d", systems.ErrNodeDown, node, len(n.peers))
+	}
+	n.peers[node].gate.Restart()
+	return nil
+}
+
+// FaultTransport exposes the shared fabric for link-level fault injection.
+func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeEndpoints maps node (server) index i to its transport endpoints. The
+// paper co-locates orderer i on server i (Table 4: orderers on servers
+// 1-3); peers themselves commit via the ordering stream rather than
+// peer-to-peer links.
+func (n *Network) NodeEndpoints(node int) []string {
+	if node < 0 || node >= len(n.orderers) {
+		return nil
+	}
+	return []string{n.orderers[node].id}
+}
+
+// LedgerHead returns peer i's chain head hash (for convergence checks).
+func (n *Network) LedgerHead(i int) crypto.Hash { return n.peers[i%len(n.peers)].ledger.Head().Hash }
 
 // PeerHeight reports peer 0's chain height (for tests and examples).
 func (n *Network) PeerHeight() uint64 { return n.peers[0].ledger.Height() }

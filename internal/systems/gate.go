@@ -1,0 +1,80 @@
+package systems
+
+import "sync"
+
+// NodeGate is one node's commit-plane switch, used by every driver to
+// implement the Driver contract's CrashNode/RestartNode hooks uniformly.
+//
+// The simulation models crashes and partitions at the commit plane: the
+// consensus engines keep running (they stand in for the rest of the network,
+// which in a real deployment would elect around the failed replica and later
+// state-transfer it back), while the gate suspends the node's local ledger
+// and world-state application. While down, the node's commit work is
+// buffered in arrival order; Restart replays the backlog in that order
+// before reopening, which models the catch-up real systems perform on
+// rejoin (Raft log repair, Fabric's deliver service, Sawtooth catch-up,
+// Diem state sync) and guarantees the restarted node converges to the same
+// committed prefix as the nodes that stayed up.
+type NodeGate struct {
+	mu      sync.Mutex
+	down    bool
+	backlog []func()
+}
+
+// Do runs f immediately when the gate is open, or buffers it for replay
+// when the node is down. Execution holds the gate lock, so one node's
+// commit work is serialized against Crash/Restart transitions and replay
+// order exactly matches arrival order.
+func (g *NodeGate) Do(f func()) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.down {
+		g.backlog = append(g.backlog, f)
+		return
+	}
+	f()
+}
+
+// Crash closes the gate. It reports whether the node was up (a second
+// Crash is a no-op returning false, never a panic).
+func (g *NodeGate) Crash() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.down {
+		return false
+	}
+	g.down = true
+	return true
+}
+
+// Restart replays the buffered commit work in arrival order and reopens
+// the gate, returning the number of replayed items. Restarting a node that
+// is not down is a no-op.
+func (g *NodeGate) Restart() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.down {
+		return 0
+	}
+	n := len(g.backlog)
+	for _, f := range g.backlog {
+		f()
+	}
+	g.backlog = nil
+	g.down = false
+	return n
+}
+
+// Down reports whether the node is currently crashed.
+func (g *NodeGate) Down() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.down
+}
+
+// Backlog reports how much commit work is buffered for replay.
+func (g *NodeGate) Backlog() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.backlog)
+}

@@ -86,6 +86,7 @@ type validator struct {
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
 	pool    *mempool.Pool[*chain.Transaction]
+	gate    systems.NodeGate
 
 	mu      sync.Mutex
 	seen    map[crypto.Hash]bool
@@ -236,6 +237,9 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 	n.mu.Unlock()
 
 	v := n.validators[entryNode%len(n.validators)]
+	if v.gate.Down() {
+		return systems.ErrNodeDown // the client's RPC node is unreachable
+	}
 	n.admit(v, tx)
 	for _, other := range n.validators {
 		if other == v {
@@ -308,39 +312,44 @@ func (n *Network) produce(v *validator) {
 }
 
 // makeDecideFunc builds the order-execute commit pipeline for validator v.
+// The commit plane is gated per validator: while v is crashed its decided
+// blocks buffer, and RestartNode replays them in decision order.
 func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		blk, ok := d.Payload.(producedBlock)
-		if !ok {
-			return
-		}
-		// Execute after ordering against this validator's own state; all
-		// validators execute identically in block order.
-		cb := chain.NewBlock(v.ledger.Head(), blk.Producer, blk.FormedAt, blk.Txs)
-		if err := v.ledger.Append(cb); err != nil {
-			return
-		}
-		now := n.cfg.Clock.Now()
-		for txNum, tx := range blk.Txs {
-			execErr := executeTx(tx, v.state, cb.Number, txNum)
-			// Drop from this validator's pool bookkeeping.
-			ev := systems.Event{
-				TxID:      tx.ID,
-				Client:    tx.Client,
-				Committed: true, // Ethereum includes failed txs in blocks
-				ValidOK:   execErr == nil,
-				OpCount:   tx.OpCount(),
-				BlockNum:  cb.Number,
-			}
-			if execErr != nil {
-				ev.Reason = execErr.Error()
-			}
-			v.hubNode.Committed(ev, now)
-		}
-		// Remove included txs from the local pool (they may still be queued
-		// on validators that did not produce the block).
-		n.scrubPool(v, blk.Txs)
+		v.gate.Do(func() { n.applyDecision(v, d) })
 	}
+}
+
+func (n *Network) applyDecision(v *validator, d consensus.Decision) {
+	blk, ok := d.Payload.(producedBlock)
+	if !ok {
+		return
+	}
+	// Execute after ordering against this validator's own state; all
+	// validators execute identically in block order.
+	cb := chain.NewBlock(v.ledger.Head(), blk.Producer, blk.FormedAt, blk.Txs)
+	if err := v.ledger.Append(cb); err != nil {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	for txNum, tx := range blk.Txs {
+		execErr := executeTx(tx, v.state, cb.Number, txNum)
+		ev := systems.Event{
+			TxID:      tx.ID,
+			Client:    tx.Client,
+			Committed: true, // Ethereum includes failed txs in blocks
+			ValidOK:   execErr == nil,
+			OpCount:   tx.OpCount(),
+			BlockNum:  cb.Number,
+		}
+		if execErr != nil {
+			ev.Reason = execErr.Error()
+		}
+		v.hubNode.Committed(ev, now)
+	}
+	// Remove included txs from the local pool (they may still be queued
+	// on validators that did not produce the block).
+	n.scrubPool(v, blk.Txs)
 }
 
 // scrubPool removes included transactions from a validator's pending pool.
@@ -420,6 +429,46 @@ func (n *Network) ChainHeight() uint64 { return n.validators[0].ledger.Height() 
 // WorldState exposes validator i's state for test verification.
 func (n *Network) WorldState(i int) *statestore.KVStore {
 	return n.validators[i%len(n.validators)].state
+}
+
+// CrashNode implements systems.Driver: the validator's commit plane stops
+// and its RPC endpoint rejects submissions; decided blocks buffer.
+func (n *Network) CrashNode(node int) error {
+	if node < 0 || node >= len(n.validators) {
+		return fmt.Errorf("%w: validator %d of %d", systems.ErrNodeDown, node, len(n.validators))
+	}
+	n.validators[node].gate.Crash()
+	return nil
+}
+
+// RestartNode implements systems.Driver: the validator replays the blocks
+// it missed in decision order (geth's chain download on rejoin) and
+// resumes.
+func (n *Network) RestartNode(node int) error {
+	if node < 0 || node >= len(n.validators) {
+		return fmt.Errorf("%w: validator %d of %d", systems.ErrNodeDown, node, len(n.validators))
+	}
+	n.validators[node].gate.Restart()
+	return nil
+}
+
+// FaultTransport exposes the shared fabric for link-level fault injection.
+func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeEndpoints maps validator i to its transport endpoints (IBFT plus tx
+// gossip).
+func (n *Network) NodeEndpoints(node int) []string {
+	if node < 0 || node >= len(n.validators) {
+		return nil
+	}
+	id := n.validators[node].id
+	return []string{id, gossipEndpoint(id)}
+}
+
+// LedgerHead returns validator i's chain head hash (for convergence
+// checks).
+func (n *Network) LedgerHead(i int) crypto.Hash {
+	return n.validators[i%len(n.validators)].ledger.Head().Hash
 }
 
 // PoolDepth reports the deepest validator pool backlog.

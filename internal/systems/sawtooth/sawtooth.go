@@ -91,6 +91,7 @@ type validator struct {
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
 	queue   *mempool.Pool[*chain.Batch]
+	gate    systems.NodeGate
 
 	mu   sync.Mutex
 	seen map[crypto.Hash]bool
@@ -243,6 +244,9 @@ func (n *Network) SubmitBatch(entryNode int, b *chain.Batch) error {
 	n.mu.Unlock()
 
 	v := n.validators[entryNode%len(n.validators)]
+	if v.gate.Down() {
+		return systems.ErrNodeDown // the client's REST endpoint is unreachable
+	}
 	v.mu.Lock()
 	if v.seen[b.ID] {
 		v.mu.Unlock()
@@ -319,43 +323,49 @@ func (n *Network) publishLoop() {
 
 // makeDecideFunc builds the commit pipeline for one validator: batches
 // execute atomically; a failing batch is discarded entirely and its
-// transactions produce no events (lost end to end).
+// transactions produce no events (lost end to end). The pipeline is gated
+// per validator: a crashed validator buffers decided blocks and replays
+// them on restart (Sawtooth's catch-up).
 func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		blk, ok := d.Payload.(publishedBlock)
-		if !ok {
-			return
-		}
-		// Dry-run each batch against a shadow to enforce atomicity, then
-		// apply the survivors.
-		var surviving []*chain.Transaction
-		var survivingBatches []*chain.Batch
-		for _, b := range blk.Batches {
-			if batchExecutes(b, v.state) {
-				surviving = append(surviving, b.Txs...)
-				survivingBatches = append(survivingBatches, b)
-			}
-		}
-		cb := chain.NewBlock(v.ledger.Head(), blk.Publisher, blk.PublishedAt, surviving)
-		if err := v.ledger.Append(cb); err != nil {
-			return
-		}
-		now := n.cfg.Clock.Now()
-		for txNum, batch := range survivingBatches {
-			for _, tx := range batch.Txs {
-				applyTx(tx, v.state, cb.Number, txNum)
-				v.hubNode.Committed(systems.Event{
-					TxID:      tx.ID,
-					Client:    tx.Client,
-					Committed: true,
-					ValidOK:   true,
-					OpCount:   tx.OpCount(),
-					BlockNum:  cb.Number,
-				}, now)
-			}
-		}
-		n.scrubQueue(v, blk.Batches)
+		v.gate.Do(func() { n.applyDecision(v, d) })
 	}
+}
+
+func (n *Network) applyDecision(v *validator, d consensus.Decision) {
+	blk, ok := d.Payload.(publishedBlock)
+	if !ok {
+		return
+	}
+	// Dry-run each batch against a shadow to enforce atomicity, then
+	// apply the survivors.
+	var surviving []*chain.Transaction
+	var survivingBatches []*chain.Batch
+	for _, b := range blk.Batches {
+		if batchExecutes(b, v.state) {
+			surviving = append(surviving, b.Txs...)
+			survivingBatches = append(survivingBatches, b)
+		}
+	}
+	cb := chain.NewBlock(v.ledger.Head(), blk.Publisher, blk.PublishedAt, surviving)
+	if err := v.ledger.Append(cb); err != nil {
+		return
+	}
+	now := n.cfg.Clock.Now()
+	for txNum, batch := range survivingBatches {
+		for _, tx := range batch.Txs {
+			applyTx(tx, v.state, cb.Number, txNum)
+			v.hubNode.Committed(systems.Event{
+				TxID:      tx.ID,
+				Client:    tx.Client,
+				Committed: true,
+				ValidOK:   true,
+				OpCount:   tx.OpCount(),
+				BlockNum:  cb.Number,
+			}, now)
+		}
+	}
+	n.scrubQueue(v, blk.Batches)
 }
 
 // batchExecutes dry-runs a batch against a copy-on-read overlay of the
@@ -425,6 +435,45 @@ func (a *kvAdapter) Get(key string) (string, bool) {
 }
 
 func (a *kvAdapter) Put(key, value string) { a.state.Set(key, value, a.ver) }
+
+// CrashNode implements systems.Driver: the validator's commit plane stops
+// and its REST endpoint rejects batches; decided blocks buffer.
+func (n *Network) CrashNode(node int) error {
+	if node < 0 || node >= len(n.validators) {
+		return fmt.Errorf("%w: validator %d of %d", systems.ErrNodeDown, node, len(n.validators))
+	}
+	n.validators[node].gate.Crash()
+	return nil
+}
+
+// RestartNode implements systems.Driver: the validator replays the blocks
+// it missed in decision order (Sawtooth's catch-up) and resumes.
+func (n *Network) RestartNode(node int) error {
+	if node < 0 || node >= len(n.validators) {
+		return fmt.Errorf("%w: validator %d of %d", systems.ErrNodeDown, node, len(n.validators))
+	}
+	n.validators[node].gate.Restart()
+	return nil
+}
+
+// FaultTransport exposes the shared fabric for link-level fault injection.
+func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeEndpoints maps validator i to its transport endpoints (PBFT plus
+// batch gossip).
+func (n *Network) NodeEndpoints(node int) []string {
+	if node < 0 || node >= len(n.validators) {
+		return nil
+	}
+	id := n.validators[node].id
+	return []string{id, gossipEndpoint(id)}
+}
+
+// LedgerHead returns validator i's chain head hash (for convergence
+// checks).
+func (n *Network) LedgerHead(i int) crypto.Hash {
+	return n.validators[i%len(n.validators)].ledger.Head().Hash
+}
 
 // Drained implements systems.Quiescer: all validator queues are empty.
 func (n *Network) Drained() bool {

@@ -6,11 +6,16 @@
 package systems
 
 import (
+	"errors"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/chain"
 	"github.com/coconut-bench/coconut/internal/crypto"
 )
+
+// ErrNodeDown is returned by Submit when the entry node is crashed and by
+// the crash hooks on invalid node indices.
+var ErrNodeDown = errors.New("systems: node is down")
 
 // Event is the finalization notification delivered to a COCONUT client once
 // a transaction has been persisted on every node.
@@ -58,6 +63,17 @@ type Driver interface {
 	Subscribe(client string, fn EventFunc)
 	// NodeCount reports the network size (for scalability experiments).
 	NodeCount() int
+	// CrashNode halts node index's commit plane: submissions through it are
+	// rejected with ErrNodeDown and it stops persisting transactions (so the
+	// hub's "persisted on all nodes" criterion stalls for work decided while
+	// it is down). Crashing an already-crashed node is a no-op; an
+	// out-of-range index is an error.
+	CrashNode(node int) error
+	// RestartNode recovers a crashed node: it catches up on the commits it
+	// missed, in the order the surviving nodes applied them (modeling the
+	// state-transfer real systems perform on rejoin), and resumes normal
+	// participation. Restarting a node that is not crashed is a no-op.
+	RestartNode(node int) error
 }
 
 // Quiescer is optionally implemented by drivers whose admission queues can
