@@ -1,0 +1,144 @@
+// Command benchjson converts `go test -bench` text output into the
+// BENCH_N.json format the repo uses to track its performance trajectory
+// across PRs. Each positional argument is a label=path pair naming one
+// bench run; the output groups the parsed results by label so a single
+// file can carry before/after comparisons:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/network/ > after.txt
+//	benchjson -out BENCH_3.json before=seed.txt after=after.txt
+//
+// Every benchmark line is parsed into its name, iteration count, and the
+// full metric map (ns/op, B/op, allocs/op, plus custom b.ReportMetric
+// values such as MTPS).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is one parsed benchmark result line.
+type Entry struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is the BENCH_N.json document.
+type Report struct {
+	Go     string             `json:"go"`
+	Note   string             `json:"note,omitempty"`
+	Runs   map[string][]Entry `json:"runs"`
+	Labels []string           `json:"labels"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	out := flag.String("out", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		return fmt.Errorf("usage: benchjson [-out file] label=benchoutput.txt ...")
+	}
+
+	rep := Report{Go: runtime.Version(), Runs: map[string][]Entry{}, Note: *note}
+	for _, arg := range flag.Args() {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("argument %q is not label=path", arg)
+		}
+		entries, err := parseFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rep.Runs[label] = append(rep.Runs[label], entries...)
+		if !slices.Contains(rep.Labels, label) {
+			rep.Labels = append(rep.Labels, label)
+		}
+	}
+	sort.Strings(rep.Labels)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// parseFile extracts benchmark result lines from one `go test -bench`
+// output file.
+func parseFile(path string) ([]Entry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var entries []Entry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		if e, ok := parseBenchLine(line); ok {
+			entries = append(entries, e)
+		}
+	}
+	return entries, sc.Err()
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   516852   1970 ns/op   71 B/op   1 allocs/op   12.5 MTPS
+//
+// returning false for non-result Benchmark lines (e.g. FAIL markers).
+func parseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Entry{}, false
+	}
+	name := fields[0]
+	// Strip the -GOMAXPROCS suffix so names compare across machines.
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	metrics := map[string]float64{}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		metrics[fields[i+1]] = v
+	}
+	if len(metrics) == 0 {
+		return Entry{}, false
+	}
+	return Entry{Name: name, Iterations: iters, Metrics: metrics}, true
+}

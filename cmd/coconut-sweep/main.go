@@ -17,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/coconut-bench/coconut/internal/coconut"
@@ -45,8 +47,36 @@ func run() error {
 		arrival   = flag.String("arrival", "uniform", "client arrival schedule: uniform, poisson, or burst[:N]")
 		faultsArg = flag.String("faults", "", "chaos preset to run all systems under: "+
 			strings.Join(faults.PresetNames(), ", "))
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the sweep finishes")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "coconut-sweep: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained allocations
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "coconut-sweep: memprofile:", err)
+			}
+		}()
+	}
 
 	if _, err := coconut.ArrivalByName(*arrival); err != nil {
 		return err

@@ -53,20 +53,24 @@ func Genesis(networkID string) *Block {
 	return b
 }
 
-// Seal recomputes TxRoot and Hash from the current content.
+// Seal recomputes TxRoot and Hash from the current content. The whole seal
+// runs on one pooled hasher: the Merkle fold reuses a single level buffer
+// and the header digest streams field by field, so sealing allocates
+// nothing regardless of block size.
 func (b *Block) Seal() {
-	leaves := make([]crypto.Hash, len(b.Txs))
-	for i, tx := range b.Txs {
-		leaves[i] = tx.ID
+	h := crypto.AcquireHasher()
+	for _, tx := range b.Txs {
+		h.AppendLeaf(tx.ID)
 	}
-	b.TxRoot = crypto.MerkleRoot(leaves)
-	b.Hash = crypto.Sum(
-		crypto.Uint64Bytes(b.Number),
-		b.PrevHash.Bytes(),
-		b.TxRoot.Bytes(),
-		[]byte(b.Proposer),
-		crypto.Uint64Bytes(uint64(b.Timestamp.UnixNano())),
-	)
+	b.TxRoot = h.MerkleRoot()
+	h.Reset()
+	h.WriteUint64(b.Number)
+	h.WriteHash(b.PrevHash)
+	h.WriteHash(b.TxRoot)
+	h.WriteString(b.Proposer)
+	h.WriteUint64(uint64(b.Timestamp.UnixNano()))
+	b.Hash = h.Sum()
+	h.Release()
 }
 
 // TxCount returns the number of transactions in the block.

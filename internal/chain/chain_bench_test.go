@@ -14,6 +14,20 @@ func benchTxs(n int) []*Transaction {
 	return txs
 }
 
+// BenchmarkTxDigest measures recomputing a transaction's content digest
+// (operation digests + Merkle fold + ID derivation), the hash work every
+// Verify and every driver admission path repeats per transaction.
+func BenchmarkTxDigest(b *testing.B) {
+	tx := NewSingleOp("bench", 1, "keyvalue", "Set", "key", "value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tx.computeID() != tx.ID {
+			b.Fatal("digest mismatch")
+		}
+	}
+}
+
 func BenchmarkTransactionID(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {

@@ -31,12 +31,22 @@ func (o Operation) String() string {
 
 // Digest hashes the operation content.
 func (o Operation) Digest() crypto.Hash {
-	parts := make([][]byte, 0, len(o.Args)+2)
-	parts = append(parts, []byte(o.IEL), []byte(o.Function))
+	h := crypto.AcquireHasher()
+	o.digestInto(h)
+	d := h.Sum()
+	h.Release()
+	return d
+}
+
+// digestInto streams the operation content into an in-progress digest. The
+// byte stream matches the historical Sum([]byte(IEL), []byte(Function),
+// args...) concatenation, so derived IDs are stable across the refactor.
+func (o Operation) digestInto(h *crypto.Hasher) {
+	h.WriteString(o.IEL)
+	h.WriteString(o.Function)
 	for _, a := range o.Args {
-		parts = append(parts, []byte(a))
+		h.WriteString(a)
 	}
-	return crypto.Sum(parts...)
 }
 
 // TxStatus is the lifecycle state of a transaction as seen by a node.
@@ -95,11 +105,20 @@ func NewSingleOp(client string, seq uint64, iel, fn string, args ...string) *Tra
 }
 
 func (tx *Transaction) computeID() crypto.Hash {
-	leaves := make([]crypto.Hash, len(tx.Ops))
-	for i, op := range tx.Ops {
-		leaves[i] = op.Digest()
+	h := crypto.AcquireHasher()
+	for _, op := range tx.Ops {
+		h.Reset()
+		op.digestInto(h)
+		h.AppendLeaf(h.Sum())
 	}
-	return crypto.TxID(tx.Client, tx.Seq, crypto.MerkleRoot(leaves).Bytes())
+	root := h.MerkleRoot()
+	h.Reset()
+	h.WriteString(tx.Client)
+	h.WriteUint64(tx.Seq)
+	h.WriteHash(root)
+	id := h.Sum()
+	h.Release()
+	return id
 }
 
 // Digest returns the signable content hash.
@@ -132,11 +151,13 @@ type Batch struct {
 
 // NewBatch groups transactions into an atomic batch.
 func NewBatch(txs ...*Transaction) *Batch {
-	leaves := make([]crypto.Hash, len(txs))
-	for i, tx := range txs {
-		leaves[i] = tx.ID
+	h := crypto.AcquireHasher()
+	for _, tx := range txs {
+		h.AppendLeaf(tx.ID)
 	}
-	return &Batch{ID: crypto.MerkleRoot(leaves), Txs: txs}
+	id := h.MerkleRoot()
+	h.Release()
+	return &Batch{ID: id, Txs: txs}
 }
 
 // Size returns the number of member transactions.

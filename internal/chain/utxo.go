@@ -45,18 +45,34 @@ type UTXOTransaction struct {
 	Signatures  []crypto.Signature
 }
 
-// NewUTXOTransaction derives the transaction ID from its content.
+// NewUTXOTransaction derives the transaction ID from its content. The
+// derivation streams through one pooled hasher (operation digest, then the
+// content digest, then the client/seq ID) and allocates nothing.
 func NewUTXOTransaction(client string, seq uint64, op Operation, inputs []StateRef, outputs []ContractState) *UTXOTransaction {
-	parts := make([][]byte, 0, 2+len(inputs)+len(outputs))
-	parts = append(parts, op.Digest().Bytes())
+	h := crypto.AcquireHasher()
+	op.digestInto(h)
+	opDigest := h.Sum()
+	h.Reset()
+	h.WriteHash(opDigest)
 	for _, in := range inputs {
-		parts = append(parts, in.TxID.Bytes(), crypto.Uint64Bytes(uint64(in.Index)))
+		h.WriteHash(in.TxID)
+		h.WriteUint64(uint64(in.Index))
 	}
 	for _, out := range outputs {
-		parts = append(parts, []byte(out.Kind), []byte(out.Key), []byte(out.Value), []byte(out.Owner))
+		h.WriteString(out.Kind)
+		h.WriteString(out.Key)
+		h.WriteString(out.Value)
+		h.WriteString(out.Owner)
 	}
+	content := h.Sum()
+	h.Reset()
+	h.WriteString(client)
+	h.WriteUint64(seq)
+	h.WriteHash(content)
+	id := h.Sum()
+	h.Release()
 	return &UTXOTransaction{
-		ID:      crypto.TxID(client, seq, crypto.Sum(parts...).Bytes()),
+		ID:      id,
 		Client:  client,
 		Seq:     seq,
 		Op:      op,

@@ -18,6 +18,12 @@ type Clock interface {
 	NewTicker(d time.Duration) Ticker
 	// NewTimer returns a timer firing once after d.
 	NewTimer(d time.Duration) Timer
+	// NewTimerAt returns a timer firing once when the clock reaches the
+	// absolute instant at; a deadline at or before Now fires immediately.
+	// Schedulers use it to arm exact deadlines race-free: unlike NewTimer,
+	// the deadline cannot drift when the clock advances between computing
+	// the duration and arming the timer.
+	NewTimerAt(at time.Time) Timer
 	// Since returns the elapsed time since t.
 	Since(t time.Time) time.Duration
 }
@@ -62,6 +68,15 @@ func (Real) NewTicker(d time.Duration) Ticker { return &realTicker{t: time.NewTi
 
 // NewTimer implements Clock.
 func (Real) NewTimer(d time.Duration) Timer { return &realTimer{t: time.NewTimer(d)} }
+
+// NewTimerAt implements Clock.
+func (Real) NewTimerAt(at time.Time) Timer {
+	d := time.Until(at)
+	if d < 0 {
+		d = 0
+	}
+	return &realTimer{t: time.NewTimer(d)}
+}
 
 type realTicker struct{ t *time.Ticker }
 

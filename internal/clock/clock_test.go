@@ -212,3 +212,65 @@ func TestVirtualPendingWaiters(t *testing.T) {
 		t.Fatalf("PendingWaiters after Stop = %d, want 0", got)
 	}
 }
+
+func TestVirtualNewTimerAtFiresAtAbsoluteDeadline(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	tm := v.NewTimerAt(time.Unix(0, 0).Add(10 * time.Millisecond))
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	v.Advance(9 * time.Millisecond)
+	select {
+	case <-tm.C():
+		t.Fatal("timer fired 1ms early")
+	default:
+	}
+	v.Advance(time.Millisecond)
+	select {
+	case at := <-tm.C():
+		if want := time.Unix(0, 0).Add(10 * time.Millisecond); !at.Equal(want) {
+			t.Fatalf("fired at %v, want %v", at, want)
+		}
+	default:
+		t.Fatal("timer did not fire at its exact deadline")
+	}
+}
+
+func TestVirtualNewTimerAtPastDeadlineFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(100, 0))
+	// The race NewTimerAt exists to close: the clock advanced past the
+	// intended deadline before the caller could arm the timer. It must
+	// fire without any further Advance.
+	tm := v.NewTimerAt(time.Unix(99, 0))
+	select {
+	case <-tm.C():
+	default:
+		t.Fatal("past-deadline timer must fire immediately")
+	}
+	if got := v.PendingWaiters(); got != 0 {
+		t.Fatalf("immediate-fire timer left %d pending waiters", got)
+	}
+}
+
+func TestRealNewTimerAt(t *testing.T) {
+	clk := New()
+	start := time.Now()
+	tm := clk.NewTimerAt(start.Add(20 * time.Millisecond))
+	select {
+	case <-tm.C():
+		if d := time.Since(start); d < 15*time.Millisecond {
+			t.Fatalf("fired after %v, want ~20ms", d)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	// A past deadline fires promptly.
+	tm2 := clk.NewTimerAt(start)
+	select {
+	case <-tm2.C():
+	case <-time.After(time.Second):
+		t.Fatal("past-deadline timer did not fire")
+	}
+}

@@ -60,8 +60,27 @@ func (v *Virtual) NewTicker(d time.Duration) Ticker {
 func (v *Virtual) NewTimer(d time.Duration) Timer {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	return v.newTimerAtLocked(v.now.Add(d))
+}
+
+// NewTimerAt implements Clock. A deadline at or before the current virtual
+// instant fires immediately rather than waiting for an Advance, so callers
+// arming an absolute deadline cannot lose a wake-up to a concurrent
+// Advance.
+func (v *Virtual) NewTimerAt(at time.Time) Timer {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.newTimerAtLocked(at)
+}
+
+func (v *Virtual) newTimerAtLocked(at time.Time) Timer {
 	t := &virtualTimer{clk: v, ch: make(chan time.Time, 1)}
-	t.w = &waiter{at: v.now.Add(d), ch: t.ch}
+	t.w = &waiter{at: at, ch: t.ch}
+	if !at.After(v.now) {
+		t.w.stopped = true // never enters the heap
+		t.ch <- v.now
+		return t
+	}
 	v.addWaiterLocked(t.w)
 	return t
 }

@@ -68,7 +68,16 @@ func (c *Config) fill() {
 		c.Proposer = RoundRobinByHeight
 	}
 	if c.Digest == nil {
-		c.Digest = func(p any) crypto.Hash { return crypto.SumString(fmt.Sprintf("%v", p)) }
+		// Stream the formatted payload straight into a pooled hasher: the
+		// digest matches SumString(fmt.Sprintf("%v", p)) byte for byte but
+		// skips the intermediate string.
+		c.Digest = func(p any) crypto.Hash {
+			h := crypto.AcquireHasher()
+			fmt.Fprintf(h, "%v", p)
+			d := h.Sum()
+			h.Release()
+			return d
+		}
 	}
 	if c.MsgPrefix == "" {
 		c.MsgPrefix = "bft"

@@ -201,6 +201,23 @@ func (e *Engine) leaderOf(round uint64) string {
 	return e.cfg.Validators[round%uint64(len(e.cfg.Validators))]
 }
 
+// blockID derives a proposal's identifier on one pooled hasher. The byte
+// stream matches the historical Sum(parent, round, proposer,
+// SumString("%v"-payload)) concatenation.
+func blockID(parent crypto.Hash, round uint64, proposer string, payload any) crypto.Hash {
+	h := crypto.AcquireHasher()
+	fmt.Fprintf(h, "%v", payload)
+	payloadDigest := h.Sum()
+	h.Reset()
+	h.WriteHash(parent)
+	h.WriteUint64(round)
+	h.WriteString(proposer)
+	h.WriteHash(payloadDigest)
+	id := h.Sum()
+	h.Release()
+	return id
+}
+
 func (e *Engine) run() {
 	defer close(e.done)
 	propose := e.cfg.Clock.NewTicker(e.cfg.RoundInterval)
@@ -254,12 +271,7 @@ func (e *Engine) tryPropose() {
 		Payload:  payload,
 		Proposer: e.cfg.ID,
 	}
-	blk.ID = crypto.Sum(
-		parent.BlockID.Bytes(),
-		crypto.Uint64Bytes(blk.Round),
-		[]byte(e.cfg.ID),
-		crypto.SumString(fmt.Sprintf("%v", payload)).Bytes(),
-	)
+	blk.ID = blockID(parent.BlockID, blk.Round, e.cfg.ID, payload)
 	e.blocks[blk.ID] = &blk
 	msg := proposalMsg{Block: blk, JustifyQC: parent}
 	e.mu.Unlock()

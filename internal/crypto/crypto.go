@@ -20,19 +20,27 @@ type Hash [32]byte
 // ZeroHash is the all-zero digest used as the predecessor of genesis blocks.
 var ZeroHash Hash
 
-// Sum hashes the concatenation of the given byte slices.
+// Sum hashes the concatenation of the given byte slices. New code on hot
+// paths should prefer a pooled Hasher, which also avoids the variadic
+// slice and per-part conversions at the call site.
 func Sum(parts ...[]byte) Hash {
-	h := sha256.New()
+	h := AcquireHasher()
 	for _, p := range parts {
-		h.Write(p)
+		h.h.Write(p)
 	}
-	var out Hash
-	copy(out[:], h.Sum(nil))
-	return out
+	d := h.Sum()
+	h.Release()
+	return d
 }
 
-// SumString hashes a single string.
-func SumString(s string) Hash { return Sum([]byte(s)) }
+// SumString hashes a single string without converting it to a []byte.
+func SumString(s string) Hash {
+	h := AcquireHasher()
+	h.WriteString(s)
+	d := h.Sum()
+	h.Release()
+	return d
+}
 
 // String returns the hex encoding of the hash.
 func (h Hash) String() string { return hex.EncodeToString(h[:]) }
@@ -47,28 +55,24 @@ func (h Hash) IsZero() bool { return h == ZeroHash }
 func (h Hash) Bytes() []byte { return h[:] }
 
 // Combine hashes two hashes together, used for Merkle-style accumulation.
-func Combine(a, b Hash) Hash { return Sum(a[:], b[:]) }
+func Combine(a, b Hash) Hash {
+	h := AcquireHasher()
+	d := h.combine(a, b)
+	h.Release()
+	return d
+}
 
 // MerkleRoot computes a binary Merkle root over the given leaf hashes.
 // An empty leaf set yields ZeroHash; odd levels duplicate the last node,
-// matching the convention used by most chain implementations.
+// matching the convention used by most chain implementations. The input is
+// not modified; the fold happens in a pooled level buffer, so steady-state
+// calls do not allocate.
 func MerkleRoot(leaves []Hash) Hash {
-	if len(leaves) == 0 {
-		return ZeroHash
-	}
-	level := make([]Hash, len(leaves))
-	copy(level, leaves)
-	for len(level) > 1 {
-		if len(level)%2 == 1 {
-			level = append(level, level[len(level)-1])
-		}
-		next := make([]Hash, 0, len(level)/2)
-		for i := 0; i < len(level); i += 2 {
-			next = append(next, Combine(level[i], level[i+1]))
-		}
-		level = next
-	}
-	return level[0]
+	h := AcquireHasher()
+	h.leaves = append(h.leaves[:0], leaves...)
+	d := h.MerkleRoot()
+	h.Release()
+	return d
 }
 
 // Identity is a signing identity for a node or client.
@@ -128,9 +132,15 @@ func Uint64Bytes(v uint64) []byte {
 }
 
 // TxID derives a transaction identifier from a client name, a sequence
-// number, and an arbitrary payload digest.
+// number, and an arbitrary payload digest. Allocation-free.
 func TxID(client string, seq uint64, payload []byte) Hash {
-	return Sum([]byte(client), Uint64Bytes(seq), payload)
+	h := AcquireHasher()
+	h.WriteString(client)
+	h.WriteUint64(seq)
+	h.h.Write(payload)
+	d := h.Sum()
+	h.Release()
+	return d
 }
 
 // FormatID renders a hash as "name-xxxxxxxx" for readable tracing.

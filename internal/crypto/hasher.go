@@ -1,0 +1,126 @@
+package crypto
+
+import (
+	"crypto/sha256"
+	"hash"
+	"sync"
+)
+
+// Hasher is a reusable SHA-256 digest builder for the hot hashing paths
+// (transaction IDs, block seals, Merkle folds). It keeps one SHA-256 state,
+// one byte scratch buffer, and one Merkle level buffer alive across uses so
+// that steady-state hashing performs zero heap allocations, replacing the
+// variadic Sum([][]byte) pattern that allocated a slice header per part and
+// a fresh digest per call.
+//
+// A Hasher is not safe for concurrent use; acquire one per goroutine from
+// the pool with AcquireHasher and return it with Release. Acquiring is safe
+// to nest (e.g. Operation.Digest inside Transaction ID derivation simply
+// draws a second pooled instance).
+//
+// Streaming writes (Write*/Sum) and leaf accumulation (AppendLeaf/
+// MerkleRoot) use independent buffers, but MerkleRoot folds leaves through
+// the shared SHA-256 state: fold leaves either before starting a streaming
+// digest or after finishing one, never in between.
+type Hasher struct {
+	h       hash.Hash
+	scratch []byte
+	out     []byte
+	leaves  []Hash
+}
+
+var hasherPool = sync.Pool{
+	New: func() any {
+		return &Hasher{
+			h:       sha256.New(),
+			scratch: make([]byte, 0, 256),
+			out:     make([]byte, 0, sha256.Size),
+		}
+	},
+}
+
+// AcquireHasher returns a reset Hasher from the shared pool.
+func AcquireHasher() *Hasher {
+	h := hasherPool.Get().(*Hasher)
+	h.h.Reset()
+	h.leaves = h.leaves[:0]
+	return h
+}
+
+// Release returns the Hasher to the pool. The caller must not use it again.
+func (h *Hasher) Release() { hasherPool.Put(h) }
+
+// Reset clears the streaming digest state (leaves are unaffected).
+func (h *Hasher) Reset() { h.h.Reset() }
+
+// Write implements io.Writer, feeding raw bytes into the digest. It never
+// returns an error.
+func (h *Hasher) Write(p []byte) (int, error) { return h.h.Write(p) }
+
+// WriteString feeds a string into the digest without a []byte conversion
+// allocation (the bytes are staged through the reusable scratch buffer).
+func (h *Hasher) WriteString(s string) {
+	h.scratch = append(h.scratch[:0], s...)
+	h.h.Write(h.scratch)
+}
+
+// WriteUint64 feeds a big-endian uint64, byte-compatible with Uint64Bytes.
+func (h *Hasher) WriteUint64(v uint64) {
+	h.scratch = append(h.scratch[:0],
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	h.h.Write(h.scratch)
+}
+
+// WriteHash feeds a 32-byte digest.
+func (h *Hasher) WriteHash(x Hash) {
+	h.scratch = append(h.scratch[:0], x[:]...)
+	h.h.Write(h.scratch)
+}
+
+// Sum finalizes the streaming digest and returns it. The internal state is
+// left finalized; call Reset before reusing the streaming interface.
+func (h *Hasher) Sum() Hash {
+	h.out = h.h.Sum(h.out[:0])
+	var d Hash
+	copy(d[:], h.out)
+	return d
+}
+
+// AppendLeaf adds one leaf to the pending Merkle fold.
+func (h *Hasher) AppendLeaf(x Hash) { h.leaves = append(h.leaves, x) }
+
+// LeafCount reports the number of accumulated leaves.
+func (h *Hasher) LeafCount() int { return len(h.leaves) }
+
+// MerkleRoot folds the accumulated leaves in place into a binary Merkle
+// root and clears the leaf buffer. Semantics match the package-level
+// MerkleRoot: zero leaves yield ZeroHash, odd levels duplicate their last
+// node. The streaming digest state is reset as a side effect.
+func (h *Hasher) MerkleRoot() Hash {
+	n := len(h.leaves)
+	if n == 0 {
+		return ZeroHash
+	}
+	for n > 1 {
+		if n%2 == 1 {
+			h.leaves = append(h.leaves[:n], h.leaves[n-1])
+			n++
+		}
+		for i := 0; i < n; i += 2 {
+			h.leaves[i/2] = h.combine(h.leaves[i], h.leaves[i+1])
+		}
+		n /= 2
+	}
+	root := h.leaves[0]
+	h.leaves = h.leaves[:0]
+	return root
+}
+
+// combine hashes two digests together through the shared SHA-256 state.
+func (h *Hasher) combine(a, b Hash) Hash {
+	h.h.Reset()
+	h.scratch = append(append(h.scratch[:0], a[:]...), b[:]...)
+	h.h.Write(h.scratch)
+	return h.Sum()
+}

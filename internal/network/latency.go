@@ -2,8 +2,20 @@
 // simulated blockchain nodes and clients. It replaces the paper's physical
 // 1 Gbit/s data-center LAN plus netem: every message sent through a
 // Transport is delivered asynchronously to the destination endpoint after a
-// delay drawn from a configurable LatencyModel, and links can be cut to
-// emulate partitions.
+// delay drawn from a configurable LatencyModel, and links can be cut or
+// degraded to emulate partitions and WAN loss.
+//
+// Delivery is scheduled by a sharded hashed timing wheel (wheel.go): each
+// endpoint is pinned to a shard, each shard has one delivery worker, and a
+// send only touches immutable topology snapshots, per-shard atomic
+// counters, and per-link state — there is no globally serialized lock on
+// the hot path. Messages on the same directed link are delivered in send
+// order after their latency delay (the per-connection FIFO property of the
+// TCP links the real deployments rely on); messages on different links
+// order by ready timestamp. Under clock.Virtual the whole fabric is
+// deterministic: latency and loss draws come from seeded per-link sources
+// and each endpoint's delivery order is exactly (ready time, enqueue
+// order).
 package network
 
 import (

@@ -4,7 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/clock"
@@ -21,7 +24,7 @@ type Message struct {
 }
 
 // Handler receives delivered messages. Handlers run on the transport's
-// delivery goroutines and must not block indefinitely.
+// delivery workers and must not block indefinitely.
 type Handler func(Message)
 
 // Errors returned by Transport operations.
@@ -31,28 +34,72 @@ var (
 	ErrStopped         = errors.New("network: transport stopped")
 )
 
-// Transport is the in-process message fabric. Each registered endpoint owns
-// an ordered delivery queue: messages on the same directed link are
-// delivered in send order after their latency delay, matching TCP's
-// per-connection FIFO property that the real deployments rely on.
+// Transport is the in-process message fabric. Delivery is driven by a
+// sharded timing-wheel scheduler (see wheel.go): Send computes a ready time
+// from the latency model plus any link degradation, clamps it so messages
+// on the same directed link never reorder (TCP's per-connection FIFO
+// property the real deployments rely on), and enqueues into the destination
+// endpoint's shard. A small pool of workers — one per shard — drains due
+// messages in timestamp order.
+//
+// The hot path is engineered for zero contention between unrelated senders:
+// topology and fault state (endpoints, cut links, degradations) live in an
+// immutable snapshot swapped atomically by the mutating operations, send
+// and delivery counters are per-shard padded atomics, loss randomness is
+// drawn from per-link seeded RNGs, and handlers are resolved through an
+// atomic pointer set at registration. No global lock is taken by Send,
+// Broadcast, or the delivery workers.
 type Transport struct {
 	clk     clock.Clock
 	latency LatencyModel
+	t0      time.Time // wheel epoch; ready times are nanoseconds since t0
+	seed    int64     // base seed for the per-link loss RNGs
 
-	mu        sync.RWMutex
+	state atomic.Pointer[fabricState]
+	mu    sync.Mutex // serializes snapshot mutations only
+	links sync.Map   // linkKey -> *linkState
+
+	shards []*shard
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+}
+
+// fabricState is the immutable topology/fault snapshot. Mutators clone it
+// under Transport.mu and swap the pointer; Send and Broadcast read one
+// coherent snapshot with a single atomic load.
+type fabricState struct {
+	stopped   bool
 	endpoints map[string]*endpoint
+	list      []*endpoint // sorted by name: deterministic broadcast fan-out
 	cut       map[linkKey]bool
 	degraded  map[linkKey]Degradation
-	stopped   bool
+}
 
-	wg sync.WaitGroup
+func (st *fabricState) clone() *fabricState {
+	ns := &fabricState{
+		stopped:   st.stopped,
+		endpoints: make(map[string]*endpoint, len(st.endpoints)+1),
+		cut:       make(map[linkKey]bool, len(st.cut)),
+		degraded:  make(map[linkKey]Degradation, len(st.degraded)),
+	}
+	for k, v := range st.endpoints {
+		ns.endpoints[k] = v
+	}
+	for k, v := range st.cut {
+		ns.cut[k] = v
+	}
+	for k, v := range st.degraded {
+		ns.degraded[k] = v
+	}
+	return ns
+}
 
-	statsMu   sync.Mutex
-	lossRng   *rand.Rand
-	sent      uint64
-	delivered uint64
-	dropped   uint64
-	lost      uint64
+func (st *fabricState) rebuildList() {
+	st.list = make([]*endpoint, 0, len(st.endpoints))
+	for _, ep := range st.endpoints {
+		st.list = append(st.list, ep)
+	}
+	sort.Slice(st.list, func(i, j int) bool { return st.list[i].name < st.list[j].name })
 }
 
 // Degradation models a lossy, slow link: every message gains Extra one-way
@@ -63,16 +110,15 @@ type Degradation struct {
 	Loss  float64
 }
 
+// endpoint is one registered delivery target. The handler is resolved once
+// per delivery through an atomic pointer (re-registration swaps it), and
+// pending tracks queue occupancy for overflow accounting.
 type endpoint struct {
 	name    string
-	handler Handler
-	queue   chan queued
-	done    chan struct{}
-}
-
-type queued struct {
-	msg     Message
-	readyAt time.Time
+	sh      *shard
+	handler atomic.Pointer[Handler]
+	pending atomic.Int64
+	closed  atomic.Bool
 }
 
 // endpointQueueDepth bounds the per-endpoint in-flight queue. It is sized to
@@ -89,59 +135,98 @@ func NewTransport(clk clock.Clock, latency LatencyModel) *Transport {
 	if clk == nil {
 		clk = clock.New()
 	}
-	return &Transport{
-		clk:       clk,
-		latency:   latency,
+	t := &Transport{
+		clk:     clk,
+		latency: latency,
+		t0:      clk.Now(),
+		seed:    0x10551, // deterministic loss draws
+		stopCh:  make(chan struct{}),
+	}
+	t.state.Store(&fabricState{
 		endpoints: make(map[string]*endpoint),
 		cut:       make(map[linkKey]bool),
 		degraded:  make(map[linkKey]Degradation),
-		lossRng:   rand.New(rand.NewSource(0x10551)), // deterministic loss draws
+	})
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
 	}
+	if n < 2 {
+		n = 2
+	}
+	shards := 1
+	for shards < n {
+		shards <<= 1
+	}
+	t.shards = make([]*shard, shards)
+	for i := range t.shards {
+		t.shards[i] = newShard()
+		t.wg.Add(1)
+		go t.worker(t.shards[i])
+	}
+	return t
 }
 
-// Register attaches a named endpoint with a message handler and starts its
-// delivery loop. Registering the same name twice replaces the handler.
+func (t *Transport) nowNanos() int64 { return int64(t.clk.Now().Sub(t.t0)) }
+
+// shardFor pins an endpoint name to a shard (FNV-1a hash).
+func (t *Transport) shardFor(name string) *shard {
+	return t.shards[fnvAdd(fnvOffset64, name)&uint64(len(t.shards)-1)]
+}
+
+func (t *Transport) link(k linkKey) *linkState {
+	if v, ok := t.links.Load(k); ok {
+		return v.(*linkState)
+	}
+	v, _ := t.links.LoadOrStore(k, &linkState{})
+	return v.(*linkState)
+}
+
+// Register attaches a named endpoint with a message handler. Registering
+// the same name twice atomically replaces the handler.
 func (t *Transport) Register(name string, h Handler) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.stopped {
+	st := t.state.Load()
+	if st.stopped {
 		return
 	}
-	if ep, ok := t.endpoints[name]; ok {
-		ep.handler = h
+	if ep, ok := st.endpoints[name]; ok {
+		hp := h
+		ep.handler.Store(&hp)
 		return
 	}
-	ep := &endpoint{
-		name:    name,
-		handler: h,
-		queue:   make(chan queued, endpointQueueDepth),
-		done:    make(chan struct{}),
-	}
-	t.endpoints[name] = ep
-	t.wg.Add(1)
-	go t.deliverLoop(ep)
+	ep := &endpoint{name: name, sh: t.shardFor(name)}
+	hp := h
+	ep.handler.Store(&hp)
+	ns := st.clone()
+	ns.endpoints[name] = ep
+	ns.rebuildList()
+	t.state.Store(ns)
 }
 
 // Unregister detaches an endpoint; queued messages for it are dropped.
 func (t *Transport) Unregister(name string) {
 	t.mu.Lock()
-	ep, ok := t.endpoints[name]
-	if ok {
-		delete(t.endpoints, name)
+	defer t.mu.Unlock()
+	st := t.state.Load()
+	ep, ok := st.endpoints[name]
+	if !ok {
+		return
 	}
-	t.mu.Unlock()
-	if ok {
-		close(ep.done)
-	}
+	ep.closed.Store(true)
+	ns := st.clone()
+	delete(ns.endpoints, name)
+	ns.rebuildList()
+	t.state.Store(ns)
 }
 
-// Endpoints returns the names of all registered endpoints.
+// Endpoints returns the names of all registered endpoints, sorted.
 func (t *Transport) Endpoints() []string {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	names := make([]string, 0, len(t.endpoints))
-	for n := range t.endpoints {
-		names = append(names, n)
+	st := t.state.Load()
+	names := make([]string, 0, len(st.list))
+	for _, ep := range st.list {
+		names = append(names, ep.name)
 	}
 	return names
 }
@@ -149,106 +234,133 @@ func (t *Transport) Endpoints() []string {
 // Send schedules delivery of a message. It returns an error when the
 // destination is unknown, the link is cut, or the transport is stopped.
 func (t *Transport) Send(from, to, kind string, payload any) error {
-	t.mu.RLock()
-	if t.stopped {
-		t.mu.RUnlock()
+	st := t.state.Load()
+	if st.stopped {
 		return ErrStopped
 	}
-	if t.cut[linkKey{from, to}] {
-		t.mu.RUnlock()
+	if st.cut[linkKey{from, to}] {
 		return ErrLinkDown
 	}
-	deg, isDegraded := t.degraded[linkKey{from, to}]
-	ep, ok := t.endpoints[to]
-	t.mu.RUnlock()
+	ep, ok := st.endpoints[to]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownEndpoint, to)
 	}
+	return t.sendTo(st, from, ep, kind, payload, t.clk.Now())
+}
 
-	now := t.clk.Now()
-	delay := t.latency.Delay(from, to)
+// sendTo schedules one message to a resolved endpoint. Callers have
+// already checked the stopped and cut-link states on the same snapshot.
+func (t *Transport) sendTo(st *fabricState, from string, ep *endpoint, kind string, payload any, now time.Time) error {
+	lk := linkKey{from, ep.name}
+	deg, isDegraded := st.degraded[lk]
+
+	delay := t.latency.Delay(from, ep.name)
 	if isDegraded {
 		delay += deg.Extra
 	}
-	q := queued{
-		msg: Message{
-			From:    from,
-			To:      to,
-			Kind:    kind,
-			Payload: payload,
-			SentAt:  now,
-		},
-		readyAt: now.Add(delay),
+	nowN := int64(now.Sub(t.t0))
+	readyN := nowN
+	if delay > 0 {
+		readyN += int64(delay)
 	}
 
-	t.statsMu.Lock()
-	t.sent++
-	if isDegraded && deg.Loss > 0 && t.lossRng.Float64() < deg.Loss {
+	// Per-link FIFO clamp and loss draw. Only senders of this exact
+	// directed link share this mutex.
+	ls := t.link(lk)
+	lost := false
+	ls.mu.Lock()
+	if readyN < ls.lastReady {
+		readyN = ls.lastReady
+	}
+	ls.lastReady = readyN
+	if isDegraded && deg.Loss > 0 {
+		if ls.rng == nil {
+			ls.rng = rand.New(rand.NewSource(linkSeed(t.seed, from, ep.name)))
+		}
+		lost = ls.rng.Float64() < deg.Loss
+	}
+	ls.mu.Unlock()
+
+	sh := ep.sh
+	sh.stats.sent.Add(1)
+	if lost {
 		// Lossy link: the message vanishes in flight. The sender sees a
 		// successful send, as it would on a real network.
-		t.dropped++
-		t.lost++
-		t.statsMu.Unlock()
+		sh.stats.dropped.Add(1)
+		sh.stats.lost.Add(1)
 		return nil
 	}
-	t.statsMu.Unlock()
-
-	select {
-	case ep.queue <- q:
-		return nil
-	default:
-		t.statsMu.Lock()
-		t.dropped++
-		t.statsMu.Unlock()
-		return fmt.Errorf("network: endpoint %q queue full", to)
+	if ep.pending.Add(1) > endpointQueueDepth {
+		ep.pending.Add(-1)
+		sh.stats.dropped.Add(1)
+		return fmt.Errorf("network: endpoint %q queue full", ep.name)
 	}
+	it := itemPool.Get().(*item)
+	it.msg = Message{From: from, To: ep.name, Kind: kind, Payload: payload, SentAt: now}
+	it.ep = ep
+	it.readyNanos = readyN
+	sh.enqueue(it, nowN)
+	return nil
 }
 
 // Broadcast sends to every registered endpoint except the sender, returning
-// the number of successful sends.
+// the number of successful sends. The topology, cut-link, and degradation
+// state are snapshotted once; the fan-out re-acquires no locks per target
+// and walks endpoints in sorted-name order.
 func (t *Transport) Broadcast(from, kind string, payload any) int {
-	t.mu.RLock()
-	targets := make([]string, 0, len(t.endpoints))
-	for name := range t.endpoints {
-		if name != from {
-			targets = append(targets, name)
-		}
+	st := t.state.Load()
+	if st.stopped {
+		return 0
 	}
-	t.mu.RUnlock()
+	now := t.clk.Now()
 	n := 0
-	for _, to := range targets {
-		if err := t.Send(from, to, kind, payload); err == nil {
+	for _, ep := range st.list {
+		if ep.name == from || st.cut[linkKey{from, ep.name}] {
+			continue
+		}
+		if t.sendTo(st, from, ep, kind, payload, now) == nil {
 			n++
 		}
 	}
 	return n
 }
 
-// CutLink partitions the directed link src→dst. Subsequent sends fail.
-func (t *Transport) CutLink(src, dst string) {
+// mutate clones the current snapshot, applies fn, and publishes the result.
+// It is a no-op on a stopped transport.
+func (t *Transport) mutate(fn func(ns *fabricState)) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	t.cut[linkKey{src, dst}] = true
+	st := t.state.Load()
+	if st.stopped {
+		return
+	}
+	ns := st.clone()
+	ns.list = st.list // endpoint set unchanged by fault mutations
+	fn(ns)
+	t.state.Store(ns)
+}
+
+// CutLink partitions the directed link src→dst. Subsequent sends fail.
+func (t *Transport) CutLink(src, dst string) {
+	t.mutate(func(ns *fabricState) { ns.cut[linkKey{src, dst}] = true })
 }
 
 // HealLink restores a previously cut link.
 func (t *Transport) HealLink(src, dst string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.cut, linkKey{src, dst})
+	t.mutate(func(ns *fabricState) { delete(ns.cut, linkKey{src, dst}) })
 }
 
 // Isolate cuts every link to and from the named endpoint.
 func (t *Transport) Isolate(name string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	for other := range t.endpoints {
-		if other == name {
-			continue
+	t.mutate(func(ns *fabricState) {
+		for other := range ns.endpoints {
+			if other == name {
+				continue
+			}
+			ns.cut[linkKey{name, other}] = true
+			ns.cut[linkKey{other, name}] = true
 		}
-		t.cut[linkKey{name, other}] = true
-		t.cut[linkKey{other, name}] = true
-	}
+	})
 }
 
 // HealAll undoes every CutLink and Isolate in one step and clears all link
@@ -256,10 +368,10 @@ func (t *Transport) Isolate(name string) {
 // counterpart of HealLink: Isolate cuts 2(n-1) directed links at once and
 // previously had no inverse.
 func (t *Transport) HealAll() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.cut = make(map[linkKey]bool)
-	t.degraded = make(map[linkKey]Degradation)
+	t.mutate(func(ns *fabricState) {
+		ns.cut = make(map[linkKey]bool)
+		ns.degraded = make(map[linkKey]Degradation)
+	})
 }
 
 // DegradeLink makes the directed link src→dst slow and lossy: subsequent
@@ -273,89 +385,60 @@ func (t *Transport) DegradeLink(src, dst string, extra time.Duration, loss float
 	if loss > 1 {
 		loss = 1
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if extra <= 0 && loss == 0 {
-		delete(t.degraded, linkKey{src, dst})
-		return
-	}
-	t.degraded[linkKey{src, dst}] = Degradation{Extra: extra, Loss: loss}
+	t.mutate(func(ns *fabricState) {
+		if extra <= 0 && loss == 0 {
+			delete(ns.degraded, linkKey{src, dst})
+			return
+		}
+		ns.degraded[linkKey{src, dst}] = Degradation{Extra: extra, Loss: loss}
+	})
 }
 
-// CutCount reports how many directed links are currently cut, and
-// DegradedCount how many carry a degradation.
-func (t *Transport) CutCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.cut)
-}
+// CutCount reports how many directed links are currently cut.
+func (t *Transport) CutCount() int { return len(t.state.Load().cut) }
 
 // DegradedCount reports how many directed links carry a degradation.
-func (t *Transport) DegradedCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return len(t.degraded)
-}
+func (t *Transport) DegradedCount() int { return len(t.state.Load().degraded) }
 
 // LostCount reports messages lost to link degradation (a subset of the
 // dropped counter in Stats).
 func (t *Transport) LostCount() uint64 {
-	t.statsMu.Lock()
-	defer t.statsMu.Unlock()
-	return t.lost
+	var lost uint64
+	for _, sh := range t.shards {
+		lost += sh.stats.lost.Load()
+	}
+	return lost
 }
 
-// Stats reports send/delivery counters.
+// Stats reports send/delivery counters summed across the shards.
 func (t *Transport) Stats() (sent, delivered, dropped uint64) {
-	t.statsMu.Lock()
-	defer t.statsMu.Unlock()
-	return t.sent, t.delivered, t.dropped
+	for _, sh := range t.shards {
+		sent += sh.stats.sent.Load()
+		delivered += sh.stats.delivered.Load()
+		dropped += sh.stats.dropped.Load()
+	}
+	return sent, delivered, dropped
 }
 
-// Stop shuts down all delivery loops and waits for them to exit.
+// Stop shuts down the delivery workers and waits for them to exit. Queued
+// messages are dropped (uncounted), matching a fabric torn down mid-flight.
 func (t *Transport) Stop() {
 	t.mu.Lock()
-	if t.stopped {
+	st := t.state.Load()
+	if st.stopped {
 		t.mu.Unlock()
 		return
 	}
-	t.stopped = true
-	eps := make([]*endpoint, 0, len(t.endpoints))
-	for _, ep := range t.endpoints {
-		eps = append(eps, ep)
+	for _, ep := range st.endpoints {
+		ep.closed.Store(true)
 	}
-	t.endpoints = make(map[string]*endpoint)
+	t.state.Store(&fabricState{
+		stopped:   true,
+		endpoints: make(map[string]*endpoint),
+		cut:       make(map[linkKey]bool),
+		degraded:  make(map[linkKey]Degradation),
+	})
 	t.mu.Unlock()
-
-	for _, ep := range eps {
-		close(ep.done)
-	}
+	close(t.stopCh)
 	t.wg.Wait()
-}
-
-func (t *Transport) deliverLoop(ep *endpoint) {
-	defer t.wg.Done()
-	for {
-		select {
-		case <-ep.done:
-			return
-		case q := <-ep.queue:
-			if wait := q.readyAt.Sub(t.clk.Now()); wait > 0 {
-				select {
-				case <-t.clk.After(wait):
-				case <-ep.done:
-					return
-				}
-			}
-			t.mu.RLock()
-			h := ep.handler
-			t.mu.RUnlock()
-			if h != nil {
-				h(q.msg)
-			}
-			t.statsMu.Lock()
-			t.delivered++
-			t.statsMu.Unlock()
-		}
-	}
 }

@@ -150,12 +150,18 @@ func New(cfg Config) *Network {
 				if !ok {
 					return crypto.SumString(fmt.Sprintf("%v", p))
 				}
-				leaves := make([]crypto.Hash, len(blk.Txs))
-				for i, tx := range blk.Txs {
-					leaves[i] = tx.ID
+				h := crypto.AcquireHasher()
+				for _, tx := range blk.Txs {
+					h.AppendLeaf(tx.ID)
 				}
-				return crypto.Sum(crypto.MerkleRoot(leaves).Bytes(), []byte(blk.Producer),
-					crypto.Uint64Bytes(uint64(blk.FormedAt.UnixNano())))
+				root := h.MerkleRoot()
+				h.Reset()
+				h.WriteHash(root)
+				h.WriteString(blk.Producer)
+				h.WriteUint64(uint64(blk.FormedAt.UnixNano()))
+				d := h.Sum()
+				h.Release()
+				return d
 			},
 		})
 		n.validators = append(n.validators, v)

@@ -154,12 +154,18 @@ func New(cfg Config) *Network {
 				if !ok {
 					return crypto.SumString(fmt.Sprintf("%v", p))
 				}
-				leaves := make([]crypto.Hash, len(blk.Batches))
-				for i, b := range blk.Batches {
-					leaves[i] = b.ID
+				h := crypto.AcquireHasher()
+				for _, b := range blk.Batches {
+					h.AppendLeaf(b.ID)
 				}
-				return crypto.Sum(crypto.MerkleRoot(leaves).Bytes(), []byte(blk.Publisher),
-					crypto.Uint64Bytes(uint64(blk.PublishedAt.UnixNano())))
+				root := h.MerkleRoot()
+				h.Reset()
+				h.WriteHash(root)
+				h.WriteString(blk.Publisher)
+				h.WriteUint64(uint64(blk.PublishedAt.UnixNano()))
+				d := h.Sum()
+				h.Release()
+				return d
 			},
 		})
 		n.validators = append(n.validators, v)
