@@ -11,6 +11,7 @@
 package coconutbench
 
 import (
+	"io"
 	"strconv"
 	"testing"
 	"time"
@@ -334,6 +335,42 @@ func BenchmarkAblationEndToEnd(b *testing.B) {
 		b.ReportMetric(sent, "submitted")
 		b.ReportMetric(confirmed, "confirmedEndToEnd")
 	})
+}
+
+// BenchmarkContentionMacro runs the contention workload plane end to end:
+// the Zipfian-skewed SmallBank family and the hotspot YCSB-A mix against
+// the systems whose conflict modes differ most (Fabric's MVCC validation
+// vs. Quorum's order-execute semantic aborts), reporting goodput and abort
+// rate alongside raw MTPS. CI records these in BENCH_4.json so the
+// goodput-vs-throughput gap is tracked across PRs like the MTPS trajectory.
+func BenchmarkContentionMacro(b *testing.B) {
+	opts := benchOptions()
+	opts.SendSeconds = 100
+	cells := []struct {
+		system, mix, skew string
+	}{
+		{systems.NameFabric, "smallbank", "zipfian"},
+		{systems.NameQuorum, "smallbank", "zipfian"},
+		{systems.NameFabric, "ycsb-a", "hotspot"},
+	}
+	for _, cell := range cells {
+		cell := cell
+		b.Run(sanitize(cell.system)+"/"+cell.mix+"/"+cell.skew, func(b *testing.B) {
+			var last coconut.Result
+			for i := 0; i < b.N; i++ {
+				outcomes, err := experiments.RunContentionSweep(
+					[]string{cell.mix}, []string{cell.skew}, 0, opts, cell.system, io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = outcomes[0].Result
+			}
+			b.ReportMetric(last.MTPS.Mean, "MTPS")
+			b.ReportMetric(last.Goodput.Mean, "goodput")
+			b.ReportMetric(100*last.AbortRate.Mean, "abortPct")
+			b.ReportMetric(last.Received.Mean, "receivedNoT")
+		})
+	}
 }
 
 func sanitize(s string) string {

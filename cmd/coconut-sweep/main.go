@@ -11,6 +11,14 @@
 //	coconut-sweep -table 13+14             # Fabric SendPayment rows
 //	coconut-sweep -tables                  # all tables
 //	coconut-sweep -faults partition-heal   # all systems under a chaos preset
+//	coconut-sweep -list                    # enumerate every valid flag value
+//
+// Beyond the paper's conflict-free grid, the contention workload plane
+// measures goodput vs. raw throughput under skewed shared-state access:
+//
+//	coconut-sweep -workload smallbank -skew zipfian      # SmallBank, all systems
+//	coconut-sweep -workload kv -mix ycsb-a -skew hotspot # YCSB-A hotspot
+//	coconut-sweep -workload all -skew all                # full contention grid
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/experiments"
 	"github.com/coconut-bench/coconut/internal/faults"
+	"github.com/coconut-bench/coconut/internal/workload"
 )
 
 func main() {
@@ -47,10 +56,22 @@ func run() error {
 		arrival   = flag.String("arrival", "uniform", "client arrival schedule: uniform, poisson, or burst[:N]")
 		faultsArg = flag.String("faults", "", "chaos preset to run all systems under: "+
 			strings.Join(faults.PresetNames(), ", "))
+		workloadArg = flag.String("workload", "", "contention workload family to sweep: kv, smallbank, or all")
+		mixArg      = flag.String("mix", "", "operation mix for -workload kv (default ycsb-a): "+
+			strings.Join(workload.MixNames(), ", ")+", or all")
+		skewArg = flag.String("skew", "zipfian", "key distribution for -workload: "+
+			strings.Join(workload.DistNames(), ", ")+", or all")
+		keysArg    = flag.Int("keys", 0, "shared key-space / account-pool size for -workload (0 = default)")
+		list       = flag.Bool("list", false, "enumerate valid benchmarks, arrivals, fault presets, workloads, mixes, and skews")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the sweep finishes")
 	)
 	flag.Parse()
+
+	if *list {
+		printList()
+		return nil
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -189,9 +210,104 @@ func run() error {
 		}
 	}
 
+	if *workloadArg != "" {
+		did = true
+		mixes, err := contentionMixes(*workloadArg, *mixArg)
+		if err != nil {
+			return err
+		}
+		skews := []string{*skewArg}
+		if *skewArg == "all" {
+			skews = []string{"partitioned", "sequential", "zipfian", "hotspot"}
+		}
+		fmt.Printf("== Contention sweep: %s x %s (RL=200) ==\n",
+			strings.Join(mixes, "+"), strings.Join(skews, "+"))
+		outcomes, err := experiments.RunContentionSweep(mixes, skews, *keysArg, opts, *system, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if md != nil {
+			if err := experiments.WriteContentionReport(md, "Contention sweep", outcomes); err != nil {
+				return err
+			}
+		}
+	}
+
 	if !did {
 		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -figure, -table, -tables, or -faults")
+		return fmt.Errorf("nothing to do: pass -figure, -table, -tables, -faults, -workload, or -list")
 	}
 	return nil
+}
+
+// contentionMixes resolves the -workload/-mix flag pair into mix names. An
+// explicit -mix only applies to the kv family; combining it with any other
+// family is an error rather than a silently ignored flag.
+func contentionMixes(family, mix string) ([]string, error) {
+	switch family {
+	case "kv":
+		switch mix {
+		case "":
+			return []string{"ycsb-a"}, nil
+		case "all":
+			return []string{"write", "ycsb-a", "ycsb-b", "ycsb-c"}, nil
+		default:
+			if _, err := workload.MixByName(mix); err != nil {
+				return nil, err
+			}
+			return []string{mix}, nil
+		}
+	case "smallbank":
+		if mix != "" {
+			return nil, fmt.Errorf("-mix %q conflicts with -workload smallbank (the family fixes its own mix)", mix)
+		}
+		return []string{"smallbank"}, nil
+	case "all":
+		if mix != "" {
+			return nil, fmt.Errorf("-mix %q conflicts with -workload all (pass -workload kv -mix %s instead)", mix, mix)
+		}
+		return []string{"write", "ycsb-a", "smallbank"}, nil
+	default:
+		// Accept a mix name directly (e.g. -workload ycsb-b) for brevity.
+		if mix != "" {
+			return nil, fmt.Errorf("-mix %q conflicts with -workload %q", mix, family)
+		}
+		if _, err := workload.MixByName(family); err != nil {
+			return nil, fmt.Errorf("unknown workload family %q (want kv, smallbank, all, or a mix name)", family)
+		}
+		return []string{family}, nil
+	}
+}
+
+// printList enumerates every flag value that is otherwise only
+// discoverable by reading source.
+func printList() {
+	fmt.Println("benchmarks (-figure/-table cells):")
+	for _, b := range coconut.AllBenchmarks {
+		fmt.Printf("  %s\n", b)
+	}
+	fmt.Println("tables (-table):")
+	for _, tbl := range experiments.Tables {
+		fmt.Printf("  %-6s %s\n", tbl.ID, tbl.Title)
+	}
+	fmt.Println("figures (-figure): 3 (best-MTPS grid), 4 (emulated latency), 5 (scalability)")
+	fmt.Println("arrival schedules (-arrival):")
+	fmt.Println("  uniform, poisson, burst[:N]")
+	fmt.Println("fault presets (-faults):")
+	for _, p := range faults.PresetNames() {
+		fmt.Printf("  %s\n", p)
+	}
+	fmt.Println("workload families (-workload): kv, smallbank, all")
+	fmt.Println("operation mixes (-mix):")
+	for _, m := range workload.MixNames() {
+		fmt.Printf("  %s\n", m)
+	}
+	fmt.Println("key distributions (-skew):")
+	for _, d := range workload.DistNames() {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Println("systems (-system):")
+	for _, s := range experiments.AllSystems {
+		fmt.Printf("  %s\n", s)
+	}
 }

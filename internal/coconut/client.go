@@ -32,6 +32,12 @@ type ClientConfig struct {
 	EntryNode int
 	// Benchmark selects the workload.
 	Benchmark BenchmarkName
+	// Gen, when set, overrides the benchmark generator: it is called once
+	// per workload thread and must return that thread's deterministic
+	// operation generator. The contention workload plane
+	// (internal/workload) plugs in here; nil keeps the paper's per-thread
+	// partitioned benchmark generators.
+	Gen func(thread int) OpGen
 	// RateLimit is the maximum payloads per second this client sends — the
 	// paper's RL parameter (§4.4).
 	RateLimit int
@@ -134,10 +140,16 @@ type Client struct {
 	// phase-end aggregation never walks the full record set.
 	expectedOps  atomic.Int64
 	receivedOps  atomic.Int64
+	validOps     atomic.Int64
 	latencySumNs atomic.Int64
 	latencyN     atomic.Int64
 	firstSendNs  atomic.Int64 // math.MaxInt64 until the first send
 	lastRecvNs   atomic.Int64 // math.MinInt64 until the first receipt
+
+	// Per-reason abort payload counts. Aborts are the exceptional path, so
+	// a small mutex-guarded map beats widening the hot-path atomics.
+	abortMu sync.Mutex
+	aborts  map[string]int
 }
 
 // NewClient builds a client; Subscribe must happen before the system starts
@@ -182,12 +194,23 @@ func (c *Client) onEvent(ev systems.Event) {
 	delete(s.m, ev.TxID)
 	rec.Received = true
 	rec.ValidOK = ev.ValidOK
+	rec.Code = ev.Code
 	rec.End = now
 	fls := rec.FLS()
 	// The summary contribution is folded in before the shard lock is
 	// released: detach serializes on these locks, so once it completes no
 	// received event can be missing from the online counters.
 	c.receivedOps.Add(int64(rec.Ops))
+	if ev.ValidOK {
+		c.validOps.Add(int64(rec.Ops))
+	} else {
+		c.abortMu.Lock()
+		if c.aborts == nil {
+			c.aborts = make(map[string]int)
+		}
+		c.aborts[abortCode(ev.Code)] += rec.Ops
+		c.abortMu.Unlock()
+	}
 	c.latencySumNs.Add(int64(fls))
 	c.latencyN.Add(1)
 	atomicMax(&c.lastRecvNs, now.UnixNano())
@@ -301,10 +324,19 @@ func (c *Client) Summary() ClientSummary {
 	s := ClientSummary{
 		ExpectedNoT: int(c.expectedOps.Load()),
 		ReceivedNoT: int(c.receivedOps.Load()),
+		ValidNoT:    int(c.validOps.Load()),
 		LatencySum:  time.Duration(c.latencySumNs.Load()),
 		LatencyN:    int(c.latencyN.Load()),
 		Hist:        c.hist,
 	}
+	c.abortMu.Lock()
+	if len(c.aborts) > 0 {
+		s.Aborts = make(map[string]int, len(c.aborts))
+		for code, n := range c.aborts {
+			s.Aborts[code] = n
+		}
+	}
+	c.abortMu.Unlock()
 	if first := c.firstSendNs.Load(); first != math.MaxInt64 {
 		s.FirstSend = time.Unix(0, first)
 	}
@@ -318,7 +350,12 @@ func (c *Client) Summary() ClientSummary {
 // finalization confirmations (§4.3).
 func (c *Client) workloadThread(thread int, tokens <-chan struct{}, stop <-chan struct{}) {
 	threadKey := c.cfg.ID + "/" + strconv.Itoa(thread)
-	gen := NewOpGen(c.cfg.Benchmark, threadKey)
+	var gen OpGen
+	if c.cfg.Gen != nil {
+		gen = c.cfg.Gen(thread)
+	} else {
+		gen = NewOpGen(c.cfg.Benchmark, threadKey)
+	}
 	var readMax uint64
 	if thread < len(c.cfg.ReadMax) {
 		readMax = c.cfg.ReadMax[thread]

@@ -30,6 +30,9 @@ type TxRecord struct {
 	Received bool
 	// ValidOK mirrors the system's validation verdict, when received.
 	ValidOK bool
+	// Code is the canonical abort-reason code when ValidOK is false (e.g.
+	// "mvcc-conflict"); see the systems package's abort registry.
+	Code string
 	// Thread is the workload thread that sent the transaction, used to
 	// carry per-thread written ranges into dependent read phases.
 	Thread int
@@ -154,6 +157,24 @@ type RepetitionResult struct {
 	ReceivedNoT int
 	// ExpectedNoT counts sent payloads.
 	ExpectedNoT int
+	// ValidNoT counts received payloads that committed valid. On systems
+	// that append invalid transactions (Fabric's MVCC failures, the
+	// order-execute systems' failed executions) it is smaller than
+	// ReceivedNoT under contention.
+	ValidNoT int
+	// Goodput is valid-committed payloads per second — the throughput that
+	// actually changed state. Goodput <= TPS, with equality only when no
+	// received transaction aborted.
+	Goodput float64
+	// AbortRate is the fraction of received payloads that committed
+	// invalid: (ReceivedNoT - ValidNoT) / ReceivedNoT.
+	AbortRate float64
+	// Conflicts breaks aborted payloads down by canonical abort code. It
+	// folds together client-observed aborts (invalid committed
+	// transactions) and driver-side sheds the clients never hear about
+	// (BitShares exclusion, Sawtooth batch discard, Corda notary
+	// rejections), which use disjoint code sets.
+	Conflicts map[string]int
 	// Availability is the windowed-timeline availability (1 for a fully
 	// healthy run; see FaultMetrics). Zero when no timeline was collected.
 	Availability float64
@@ -178,6 +199,10 @@ type ClientSummary struct {
 	// ExpectedNoT and ReceivedNoT count sent and confirmed payloads.
 	ExpectedNoT int
 	ReceivedNoT int
+	// ValidNoT counts confirmed payloads whose validation succeeded.
+	ValidNoT int
+	// Aborts counts invalid-committed payloads by abort code.
+	Aborts map[string]int
 	// LatencySum and LatencyN accumulate per-transaction finalization
 	// latency for the MFLS mean.
 	LatencySum time.Duration
@@ -195,13 +220,22 @@ func CombineSummaries(sums []ClientSummary) RepetitionResult {
 		last       time.Time
 		received   int
 		expected   int
+		valid      int
 		latencySum time.Duration
 		latencyN   int
+		conflicts  map[string]int
 	)
 	hist := NewLatencyHist()
 	for _, s := range sums {
 		expected += s.ExpectedNoT
 		received += s.ReceivedNoT
+		valid += s.ValidNoT
+		for code, n := range s.Aborts {
+			if conflicts == nil {
+				conflicts = make(map[string]int)
+			}
+			conflicts[code] += n
+		}
 		if !s.FirstSend.IsZero() && (first.IsZero() || s.FirstSend.Before(first)) {
 			first = s.FirstSend
 		}
@@ -212,7 +246,7 @@ func CombineSummaries(sums []ClientSummary) RepetitionResult {
 		latencyN += s.LatencyN
 		hist.Merge(s.Hist)
 	}
-	return finishRepetition(first, last, received, expected, latencySum, latencyN, hist)
+	return finishRepetition(first, last, received, expected, valid, conflicts, latencySum, latencyN, hist)
 }
 
 // ComputeRepetition derives one repetition's metrics from the raw records
@@ -224,8 +258,10 @@ func ComputeRepetition(records []TxRecord) RepetitionResult {
 		last       time.Time
 		received   int
 		expected   int
+		valid      int
 		latencySum time.Duration
 		latencyN   int
+		conflicts  map[string]int
 	)
 	hist := NewLatencyHist()
 	for _, r := range records {
@@ -237,6 +273,14 @@ func ComputeRepetition(records []TxRecord) RepetitionResult {
 			continue
 		}
 		received += r.Ops
+		if r.ValidOK {
+			valid += r.Ops
+		} else {
+			if conflicts == nil {
+				conflicts = make(map[string]int)
+			}
+			conflicts[abortCode(r.Code)] += r.Ops
+		}
 		if r.End.After(last) {
 			last = r.End
 		}
@@ -244,14 +288,30 @@ func ComputeRepetition(records []TxRecord) RepetitionResult {
 		latencyN++
 		hist.Observe(r.FLS())
 	}
-	return finishRepetition(first, last, received, expected, latencySum, latencyN, hist)
+	return finishRepetition(first, last, received, expected, valid, conflicts, latencySum, latencyN, hist)
 }
 
-func finishRepetition(first, last time.Time, received, expected int, latencySum time.Duration, latencyN int, hist *LatencyHist) RepetitionResult {
-	res := RepetitionResult{ReceivedNoT: received, ExpectedNoT: expected}
+// abortCode normalizes an event's abort code, labelling systems that report
+// invalid commits without classifying them.
+func abortCode(code string) string {
+	if code == "" {
+		return "unclassified"
+	}
+	return code
+}
+
+func finishRepetition(first, last time.Time, received, expected, valid int, conflicts map[string]int, latencySum time.Duration, latencyN int, hist *LatencyHist) RepetitionResult {
+	res := RepetitionResult{
+		ReceivedNoT: received,
+		ExpectedNoT: expected,
+		ValidNoT:    valid,
+		Conflicts:   conflicts,
+	}
 	if received > 0 && last.After(first) {
 		res.DurationSec = last.Sub(first).Seconds()
 		res.TPS = float64(received) / res.DurationSec
+		res.Goodput = float64(valid) / res.DurationSec
+		res.AbortRate = float64(received-valid) / float64(received)
 	}
 	if latencyN > 0 {
 		res.FLS = (latencySum / time.Duration(latencyN)).Seconds()
@@ -332,6 +392,17 @@ type Result struct {
 	Duration Stats
 	Received Stats
 	Expected Stats
+	// Goodput (valid-committed payloads per second) and AbortRate separate
+	// what the chain accepted from what actually changed state; on the
+	// paper's conflict-free partitioned workloads Goodput == MTPS and
+	// AbortRate == 0.
+	Goodput   Stats
+	AbortRate Stats
+	// Valid summarises valid-committed payload counts across repetitions.
+	Valid Stats
+	// Conflicts summarises the per-reason abort breakdown (payload counts
+	// per repetition, client-observed and driver-side combined).
+	Conflicts map[string]Stats
 	// MFLSP50/95/99 summarise the latency-histogram percentiles across
 	// repetitions.
 	MFLSP50 Stats
@@ -347,21 +418,39 @@ type Result struct {
 
 // Aggregate folds repetition results into a Result.
 func Aggregate(system, benchmark string, params map[string]string, reps []RepetitionResult) Result {
-	var tps, fls, dur, recv, exp, p50, p95, p99, avail, recov []float64
+	var tps, fls, dur, recv, exp, valid, good, abort, p50, p95, p99, avail, recov []float64
+	codes := make(map[string]bool)
 	for _, r := range reps {
 		tps = append(tps, r.TPS)
 		fls = append(fls, r.FLS)
 		dur = append(dur, r.DurationSec)
 		recv = append(recv, float64(r.ReceivedNoT))
 		exp = append(exp, float64(r.ExpectedNoT))
+		valid = append(valid, float64(r.ValidNoT))
+		good = append(good, r.Goodput)
+		abort = append(abort, r.AbortRate)
 		p50 = append(p50, r.P50)
 		p95 = append(p95, r.P95)
 		p99 = append(p99, r.P99)
+		for code := range r.Conflicts {
+			codes[code] = true
+		}
 		if r.Windows != nil { // fault metrics exist only with a timeline
 			avail = append(avail, r.Availability)
 			if r.Recovered {
 				recov = append(recov, r.RecoverySec)
 			}
+		}
+	}
+	var conflicts map[string]Stats
+	if len(codes) > 0 {
+		conflicts = make(map[string]Stats, len(codes))
+		for code := range codes {
+			samples := make([]float64, 0, len(reps))
+			for _, r := range reps {
+				samples = append(samples, float64(r.Conflicts[code]))
+			}
+			conflicts[code] = Summarize(samples)
 		}
 	}
 	return Result{
@@ -373,6 +462,10 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		Duration:     Summarize(dur),
 		Received:     Summarize(recv),
 		Expected:     Summarize(exp),
+		Valid:        Summarize(valid),
+		Goodput:      Summarize(good),
+		AbortRate:    Summarize(abort),
+		Conflicts:    conflicts,
 		MFLSP50:      Summarize(p50),
 		MFLSP95:      Summarize(p95),
 		MFLSP99:      Summarize(p99),

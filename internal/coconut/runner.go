@@ -8,6 +8,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/faults"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/workload"
 )
 
 // RunConfig describes one benchmark unit execution: a fresh system is
@@ -20,6 +21,13 @@ type RunConfig struct {
 	NewDriver func() systems.Driver
 	// Unit lists the benchmarks to run in sequence on the same system.
 	Unit []BenchmarkName
+	// Workload, when set, replaces the paper benchmark generators with the
+	// contention workload plane: every client thread draws operations from
+	// the spec's key distribution and mix, the spec's setup operations are
+	// preloaded into the system's world state (the driver must implement
+	// systems.Preloader when setup is non-empty), and the single measured
+	// phase is labelled with the spec name. Unit is ignored.
+	Workload *workload.Spec
 	// Clients is the number of COCONUT client applications (paper: 4, one
 	// per server).
 	Clients int
@@ -77,6 +85,10 @@ func (c *RunConfig) fill() {
 	if c.Clock == nil {
 		c.Clock = clock.New()
 	}
+	if c.Workload != nil {
+		// The contention plane runs one phase, labelled by the spec.
+		c.Unit = []BenchmarkName{BenchmarkName(c.Workload.Name())}
+	}
 	if len(c.Unit) == 0 {
 		c.Unit = []BenchmarkName{BenchDoNothing}
 	}
@@ -124,6 +136,18 @@ func runRepetition(cfg RunConfig, rep int) (map[BenchmarkName]RepetitionResult, 
 		return nil, fmt.Errorf("start driver: %w", err)
 	}
 	defer driver.Stop()
+	if cfg.Workload != nil {
+		if setup := cfg.Workload.SetupOps(); len(setup) > 0 {
+			pl, ok := driver.(systems.Preloader)
+			if !ok {
+				return nil, fmt.Errorf("coconut: workload %q needs setup but driver %s does not implement systems.Preloader",
+					cfg.Workload.Name(), driver.Name())
+			}
+			if err := pl.Preload(setup); err != nil {
+				return nil, fmt.Errorf("preload workload %q: %w", cfg.Workload.Name(), err)
+			}
+		}
+	}
 	if cfg.StabilizeDelay > 0 {
 		cfg.Clock.Sleep(cfg.StabilizeDelay)
 	}
@@ -192,6 +216,16 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		if i < len(readMax) {
 			rm = readMax[i]
 		}
+		var gen func(int) OpGen
+		if cfg.Workload != nil {
+			i := i
+			gen = func(thread int) OpGen {
+				return OpGen(cfg.Workload.Generator(workload.Placement{
+					Client: i, Clients: cfg.Clients,
+					Thread: thread, Threads: cfg.WorkloadThreads,
+				}))
+			}
+		}
 		clients[i] = NewClient(ClientConfig{
 			// The client identity is stable across unit members and
 			// repetitions so read phases regenerate the write phase's keys.
@@ -199,6 +233,7 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 			Driver:    driver,
 			EntryNode: i, // each client targets a different server (§4.3)
 			Benchmark: bench,
+			Gen:       gen,
 			RateLimit: cfg.RateLimit,
 			Arrival:   cfg.Arrival,
 			// Decorrelate randomized arrival streams across clients and
@@ -233,6 +268,15 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		}()
 	}
 
+	// Driver-side conflict counters are cumulative over the driver's
+	// lifetime; snapshot around the phase so each unit member reports only
+	// its own sheds.
+	var conflictsBefore map[string]uint64
+	reporter, _ := driver.(systems.ConflictReporter)
+	if reporter != nil {
+		conflictsBefore = reporter.ConflictCounts()
+	}
+
 	// The fault timeline starts with the load; Stop restores full health
 	// before quiescence so the next unit member sees a pristine system.
 	var injector *faults.Injector
@@ -251,6 +295,16 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		written[i] = cl.ReceivedCounts()
 	}
 	rr := CombineSummaries(sums)
+	if reporter != nil {
+		for code, after := range reporter.ConflictCounts() {
+			if delta := after - conflictsBefore[code]; delta > 0 {
+				if rr.Conflicts == nil {
+					rr.Conflicts = make(map[string]int)
+				}
+				rr.Conflicts[code] += int(delta)
+			}
+		}
+	}
 	if timeline != nil {
 		var faultAt, healAt time.Duration
 		bounded := false

@@ -5,6 +5,7 @@ import (
 
 	"github.com/coconut-bench/coconut/internal/chain"
 	"github.com/coconut-bench/coconut/internal/iel"
+	"github.com/coconut-bench/coconut/internal/workload"
 )
 
 // BenchmarkName identifies one of the six benchmarks in the paper's
@@ -103,12 +104,15 @@ func NewOpGen(b BenchmarkName, threadKey string) OpGen {
 	}
 }
 
+// Key formatting is owned by the workload package, which generalizes this
+// partitioned scheme into the contention plane's pluggable distributions;
+// delegating keeps both generator planes on one addressing convention.
 func kvKey(threadKey string, i uint64) string {
-	return fmt.Sprintf("kv/%s/%d", threadKey, i)
+	return workload.PartitionedKVKey(threadKey, i)
 }
 
 func accountKey(threadKey string, i uint64) string {
-	return fmt.Sprintf("acc/%s/%d", threadKey, i)
+	return workload.PartitionedAccountKey(threadKey, i)
 }
 
 // ReadBenchmarkDependsOnWrite reports the unit member whose writes a read

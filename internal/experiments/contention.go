@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/workload"
+)
+
+// ContentionOutcome is one (system, workload) cell of the contention grid.
+type ContentionOutcome struct {
+	System   string
+	Workload string
+	Result   coconut.Result
+}
+
+// ContentionDefaultKeys is the shared key-space / account-pool size the
+// sweep uses when the caller passes 0. It is deliberately small so skewed
+// distributions produce hot keys within a scaled run, while staying large
+// enough that Corda's linear vault scans complete inside the flow timeout.
+const ContentionDefaultKeys = 64
+
+// The sweep's client topology, mirroring the fault scenarios: four client
+// applications of four workload threads each.
+const (
+	contentionClients = 4
+	contentionThreads = 4
+)
+
+// RunContentionSweep runs every (mix, skew) workload combination against
+// every system (or the one named by system) and reports the contention
+// metrics the paper's partitioned grid cannot expose: goodput
+// (valid-committed TPS) against raw committed TPS, the abort rate, and the
+// per-reason conflict breakdown. The sweep is seeded — identical options
+// reproduce identical operation sequences.
+func RunContentionSweep(mixes, skews []string, keys int, o Options, system string, w io.Writer) ([]ContentionOutcome, error) {
+	o.fill()
+	if keys <= 0 {
+		keys = ContentionDefaultKeys
+	}
+
+	var specs []workload.Spec
+	for _, mix := range mixes {
+		for _, skew := range skews {
+			sp, err := workload.ParseSpec(mix, skew, keys, o.Seed)
+			if err != nil {
+				return nil, err
+			}
+			if !sp.Dist.Shared() {
+				// The partitioned control slices the account pool across
+				// all workload threads; give every stream at least 16
+				// accounts so the paired-half reuse distance stays beyond
+				// the in-flight pipeline window (the cell name records the
+				// adjusted pool size).
+				if min := 16 * contentionClients * contentionThreads; sp.Keys < min {
+					sp.Keys = min
+				}
+			}
+			specs = append(specs, sp)
+		}
+	}
+
+	names := FaultScenarioSystems
+	if system != "" {
+		names = []string{system}
+	}
+
+	if _, err := fmt.Fprintf(w, "%-18s %-34s %9s %9s %7s %8s  %s\n",
+		"system", "workload", "MTPS", "goodput", "abort%", "MFLS", "conflicts"); err != nil {
+		return nil, err
+	}
+
+	var outcomes []ContentionOutcome
+	for _, spec := range specs {
+		spec := spec
+		for _, name := range names {
+			newDriver, err := NewDriverFunc(name, Params{RL: 200}, o)
+			if err != nil {
+				return nil, err
+			}
+			arrival, err := o.arrivalSchedule()
+			if err != nil {
+				return nil, err
+			}
+			results, err := coconut.Run(coconut.RunConfig{
+				SystemName:      name,
+				NewDriver:       newDriver,
+				Workload:        &spec,
+				Clients:         contentionClients,
+				RateLimit:       50, // 200 total across the four clients
+				Arrival:         arrival,
+				ArrivalSeed:     o.Seed,
+				WorkloadThreads: contentionThreads,
+				SendDuration:    o.paperDur(o.SendSeconds),
+				ListenGrace:     o.paperDur(o.GraceSeconds),
+				Repetitions:     o.Repetitions,
+				Params:          map[string]string{"RL": "200", "workload": spec.Name()},
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s under %s: %w", name, spec.Name(), err)
+			}
+			r := results[0]
+			outcomes = append(outcomes, ContentionOutcome{System: name, Workload: spec.Name(), Result: r})
+			if _, err := fmt.Fprintf(w, "%-18s %-34s %9.2f %9.2f %6.1f%% %7.2fs  %s\n",
+				name, spec.Name(), r.MTPS.Mean, r.Goodput.Mean,
+				100*r.AbortRate.Mean, r.MFLS.Mean, ConflictSummary(r, 3)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return outcomes, nil
+}
+
+// ConflictSummary renders the top-n conflict reasons of a result as
+// "code:meanCount" pairs, most frequent first; "-" when conflict-free.
+func ConflictSummary(r coconut.Result, n int) string {
+	if len(r.Conflicts) == 0 {
+		return "-"
+	}
+	type kv struct {
+		code string
+		mean float64
+	}
+	pairs := make([]kv, 0, len(r.Conflicts))
+	for code, st := range r.Conflicts {
+		if st.Mean > 0 {
+			pairs = append(pairs, kv{code, st.Mean})
+		}
+	}
+	if len(pairs) == 0 {
+		return "-"
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].mean != pairs[j].mean {
+			return pairs[i].mean > pairs[j].mean
+		}
+		return pairs[i].code < pairs[j].code
+	})
+	if n > 0 && len(pairs) > n {
+		pairs = pairs[:n]
+	}
+	parts := make([]string, len(pairs))
+	for i, p := range pairs {
+		parts[i] = fmt.Sprintf("%s:%.0f", p.code, p.mean)
+	}
+	return strings.Join(parts, " ")
+}
+
+// WriteContentionReport renders contention outcomes as a markdown table for
+// EXPERIMENTS.md-style reports.
+func WriteContentionReport(w io.Writer, title string, outcomes []ContentionOutcome) error {
+	if _, err := fmt.Fprintf(w, "### %s\n\n", title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| System | Workload | MTPS | Goodput | Abort rate | MFLS | Conflicts |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---:|---:|---:|---:|---|"); err != nil {
+		return err
+	}
+	for _, oc := range outcomes {
+		r := oc.Result
+		if _, err := fmt.Fprintf(w, "| %s | %s | %.2f | %.2f | %.1f%% | %.2fs | %s |\n",
+			oc.System, oc.Workload, r.MTPS.Mean, r.Goodput.Mean,
+			100*r.AbortRate.Mean, r.MFLS.Mean, ConflictSummary(r, 3)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/systems"
+)
+
+func TestRunContentionSweepQuorumSmallBank(t *testing.T) {
+	var out bytes.Buffer
+	outcomes, err := RunContentionSweep(
+		[]string{"smallbank"}, []string{"zipfian:1.30"}, 16,
+		Options{SendSeconds: 60, Repetitions: 1, Seed: 42},
+		systems.NameQuorum, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outcomes) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(outcomes))
+	}
+	r := outcomes[0].Result
+	if r.Received.Mean <= 0 {
+		t.Fatal("nothing received")
+	}
+	if r.AbortRate.Mean <= 0 {
+		t.Fatalf("abort rate = %v, want > 0 (hot accounts must drain)", r.AbortRate.Mean)
+	}
+	if r.Goodput.Mean >= r.MTPS.Mean {
+		t.Fatalf("goodput %v >= MTPS %v", r.Goodput.Mean, r.MTPS.Mean)
+	}
+	if !strings.Contains(out.String(), "insufficient-funds") {
+		t.Fatalf("report lacks conflict breakdown:\n%s", out.String())
+	}
+
+	var md bytes.Buffer
+	if err := WriteContentionReport(&md, "Contention", outcomes); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(md.String(), "| Quorum |") {
+		t.Fatalf("markdown report missing row:\n%s", md.String())
+	}
+}
+
+func TestRunContentionSweepRejectsUnknownNames(t *testing.T) {
+	var out bytes.Buffer
+	o := Options{SendSeconds: 10, Repetitions: 1}
+	if _, err := RunContentionSweep([]string{"nope"}, []string{"zipfian"}, 0, o, systems.NameQuorum, &out); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+	if _, err := RunContentionSweep([]string{"write"}, []string{"nope"}, 0, o, systems.NameQuorum, &out); err == nil {
+		t.Fatal("unknown skew accepted")
+	}
+}
+
+func TestConflictSummaryOrdersAndTruncates(t *testing.T) {
+	r := coconut.Result{Conflicts: map[string]coconut.Stats{
+		"a": {Mean: 5}, "b": {Mean: 50}, "c": {Mean: 10}, "d": {Mean: 0},
+	}}
+	if got := ConflictSummary(r, 2); got != "b:50 c:10" {
+		t.Fatalf("ConflictSummary = %q", got)
+	}
+	if got := ConflictSummary(coconut.Result{}, 3); got != "-" {
+		t.Fatalf("empty ConflictSummary = %q", got)
+	}
+}

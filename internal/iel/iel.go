@@ -28,14 +28,22 @@ const (
 	BankingAppName = "bankingapp"
 )
 
-// Function names per IEL.
+// Function names per IEL. The SmallBank family (TransactSavings through
+// Amalgamate) extends the BankingApp layer beyond the paper's three
+// functions with the classic contention-provoking transaction profiles of
+// the SmallBank OLTP benchmark; the contention workload plane
+// (internal/workload) uses them to stress cross-account conflicts.
 const (
-	FnDoNothing     = "DoNothing"
-	FnSet           = "Set"
-	FnGet           = "Get"
-	FnCreateAccount = "CreateAccount"
-	FnSendPayment   = "SendPayment"
-	FnBalance       = "Balance"
+	FnDoNothing       = "DoNothing"
+	FnSet             = "Set"
+	FnGet             = "Get"
+	FnCreateAccount   = "CreateAccount"
+	FnSendPayment     = "SendPayment"
+	FnBalance         = "Balance"
+	FnTransactSavings = "TransactSavings"
+	FnDepositChecking = "DepositChecking"
+	FnWriteCheck      = "WriteCheck"
+	FnAmalgamate      = "Amalgamate"
 )
 
 // StateOps is the world-state interface the execution layers run against.
@@ -157,6 +165,11 @@ func executeBankingApp(op chain.Operation, st StateOps) error {
 		if fromAmt < amount {
 			return fmt.Errorf("%w: %q has %d, needs %d", ErrInsufficientFunds, from, fromAmt, amount)
 		}
+		if from == to {
+			// Self-payment: funds checked, balance unchanged. Writing the
+			// debit then the credit from stale reads would mint money.
+			return nil
+		}
 		st.Put(checkingKey(from), strconv.FormatInt(fromAmt-amount, 10))
 		st.Put(checkingKey(to), strconv.FormatInt(toAmt+amount, 10))
 		return nil
@@ -171,9 +184,119 @@ func executeBankingApp(op chain.Operation, st StateOps) error {
 		}
 		return nil
 
+	case FnTransactSavings:
+		// TransactSavings(id, amount) adjusts the savings balance; a
+		// withdrawal past zero fails (SmallBank semantics).
+		if len(op.Args) != 2 {
+			return fmt.Errorf("%w: TransactSavings wants (id, amount)", ErrBadArgs)
+		}
+		id := op.Args[0]
+		amount, err := strconv.ParseInt(op.Args[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, op.Args[1])
+		}
+		bal, err := readBalance(st, savingsKey(id), id)
+		if err != nil {
+			return err
+		}
+		if bal+amount < 0 {
+			return fmt.Errorf("%w: %q savings %d, delta %d", ErrInsufficientFunds, id, bal, amount)
+		}
+		st.Put(savingsKey(id), strconv.FormatInt(bal+amount, 10))
+		return nil
+
+	case FnDepositChecking:
+		// DepositChecking(id, amount) credits the checking balance; negative
+		// deposits are rejected.
+		if len(op.Args) != 2 {
+			return fmt.Errorf("%w: DepositChecking wants (id, amount)", ErrBadArgs)
+		}
+		id := op.Args[0]
+		amount, err := strconv.ParseInt(op.Args[1], 10, 64)
+		if err != nil || amount < 0 {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, op.Args[1])
+		}
+		bal, err := readBalance(st, checkingKey(id), id)
+		if err != nil {
+			return err
+		}
+		st.Put(checkingKey(id), strconv.FormatInt(bal+amount, 10))
+		return nil
+
+	case FnWriteCheck:
+		// WriteCheck(id, amount) cashes a check against the combined balance
+		// and debits checking; a check larger than the combined funds fails.
+		if len(op.Args) != 2 {
+			return fmt.Errorf("%w: WriteCheck wants (id, amount)", ErrBadArgs)
+		}
+		id := op.Args[0]
+		amount, err := strconv.ParseInt(op.Args[1], 10, 64)
+		if err != nil || amount < 0 {
+			return fmt.Errorf("%w: amount %q", ErrBadArgs, op.Args[1])
+		}
+		checking, err := readBalance(st, checkingKey(id), id)
+		if err != nil {
+			return err
+		}
+		savings, err := readBalance(st, savingsKey(id), id)
+		if err != nil {
+			return err
+		}
+		if checking+savings < amount {
+			return fmt.Errorf("%w: %q has %d, check for %d", ErrInsufficientFunds, id, checking+savings, amount)
+		}
+		st.Put(checkingKey(id), strconv.FormatInt(checking-amount, 10))
+		return nil
+
+	case FnAmalgamate:
+		// Amalgamate(src, dst) zeroes src's balances and credits the sum to
+		// dst's checking — the SmallBank transaction touching four keys
+		// across two accounts, the family's widest conflict footprint.
+		if len(op.Args) != 2 {
+			return fmt.Errorf("%w: Amalgamate wants (src, dst)", ErrBadArgs)
+		}
+		src, dst := op.Args[0], op.Args[1]
+		srcChecking, err := readBalance(st, checkingKey(src), src)
+		if err != nil {
+			return err
+		}
+		srcSavings, err := readBalance(st, savingsKey(src), src)
+		if err != nil {
+			return err
+		}
+		if src == dst {
+			// Self-amalgamation folds savings into checking; crediting the
+			// pre-zeroing checking read would mint money.
+			st.Put(checkingKey(src), strconv.FormatInt(srcChecking+srcSavings, 10))
+			st.Put(savingsKey(src), "0")
+			return nil
+		}
+		dstChecking, err := readBalance(st, checkingKey(dst), dst)
+		if err != nil {
+			return err
+		}
+		st.Put(checkingKey(src), "0")
+		st.Put(savingsKey(src), "0")
+		st.Put(checkingKey(dst), strconv.FormatInt(dstChecking+srcChecking+srcSavings, 10))
+		return nil
+
 	default:
 		return fmt.Errorf("%w: %s.%s", ErrUnknownFunction, op.IEL, op.Function)
 	}
+}
+
+// readBalance fetches and parses one balance key, mapping a missing key to
+// ErrAccountNotFound.
+func readBalance(st StateOps, key, id string) (int64, error) {
+	raw, ok := st.Get(key)
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrAccountNotFound, id)
+	}
+	v, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("iel: corrupt balance for %q: %v", id, err)
+	}
+	return v, nil
 }
 
 // ReadOnly reports whether the operation performs no writes; systems use it
@@ -213,6 +336,25 @@ func TouchedKeys(op chain.Operation) []string {
 			if len(op.Args) >= 1 {
 				return []string{checkingKey(op.Args[0])}
 			}
+		case FnTransactSavings:
+			if len(op.Args) >= 1 {
+				return []string{savingsKey(op.Args[0])}
+			}
+		case FnDepositChecking:
+			if len(op.Args) >= 1 {
+				return []string{checkingKey(op.Args[0])}
+			}
+		case FnWriteCheck:
+			if len(op.Args) >= 1 {
+				return []string{checkingKey(op.Args[0]), savingsKey(op.Args[0])}
+			}
+		case FnAmalgamate:
+			if len(op.Args) >= 2 {
+				return []string{
+					checkingKey(op.Args[0]), savingsKey(op.Args[0]),
+					checkingKey(op.Args[1]),
+				}
+			}
 		}
 	}
 	return nil
@@ -236,6 +378,26 @@ func WrittenKeys(op chain.Operation) []string {
 		case FnSendPayment:
 			if len(op.Args) >= 2 {
 				return []string{checkingKey(op.Args[0]), checkingKey(op.Args[1])}
+			}
+		case FnTransactSavings:
+			if len(op.Args) >= 1 {
+				return []string{savingsKey(op.Args[0])}
+			}
+		case FnDepositChecking:
+			if len(op.Args) >= 1 {
+				return []string{checkingKey(op.Args[0])}
+			}
+		case FnWriteCheck:
+			// WriteCheck reads savings but writes only checking.
+			if len(op.Args) >= 1 {
+				return []string{checkingKey(op.Args[0])}
+			}
+		case FnAmalgamate:
+			if len(op.Args) >= 2 {
+				return []string{
+					checkingKey(op.Args[0]), savingsKey(op.Args[0]),
+					checkingKey(op.Args[1]),
+				}
 			}
 		}
 	}

@@ -228,3 +228,124 @@ func TestWrittenKeys(t *testing.T) {
 		t.Fatalf("DoNothing keys = %v", keys)
 	}
 }
+
+// --- SmallBank family ---
+
+func newAccount(t *testing.T, st StateOps, id string, checking, savings int) {
+	t.Helper()
+	mustExec(t, st, op(BankingAppName, FnCreateAccount, id, strconv.Itoa(checking), strconv.Itoa(savings)))
+}
+
+func balances(t *testing.T, st StateOps, id string) (checking, savings int64) {
+	t.Helper()
+	c, ok := st.Get("acct/" + id + "/checking")
+	if !ok {
+		t.Fatalf("account %q has no checking balance", id)
+	}
+	s, ok := st.Get("acct/" + id + "/savings")
+	if !ok {
+		t.Fatalf("account %q has no savings balance", id)
+	}
+	cv, _ := strconv.ParseInt(c, 10, 64)
+	sv, _ := strconv.ParseInt(s, 10, 64)
+	return cv, sv
+}
+
+func TestTransactSavings(t *testing.T) {
+	st := KVState{}
+	newAccount(t, st, "a", 100, 50)
+	mustExec(t, st, op(BankingAppName, FnTransactSavings, "a", "25"))
+	if _, s := balances(t, st, "a"); s != 75 {
+		t.Fatalf("savings = %d, want 75", s)
+	}
+	mustExec(t, st, op(BankingAppName, FnTransactSavings, "a", "-75"))
+	if _, s := balances(t, st, "a"); s != 0 {
+		t.Fatalf("savings = %d, want 0", s)
+	}
+	if err := Execute(op(BankingAppName, FnTransactSavings, "a", "-1"), st); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overdraw err = %v", err)
+	}
+	if err := Execute(op(BankingAppName, FnTransactSavings, "ghost", "1"), st); !errors.Is(err, ErrAccountNotFound) {
+		t.Fatalf("missing account err = %v", err)
+	}
+}
+
+func TestDepositChecking(t *testing.T) {
+	st := KVState{}
+	newAccount(t, st, "a", 10, 0)
+	mustExec(t, st, op(BankingAppName, FnDepositChecking, "a", "5"))
+	if c, _ := balances(t, st, "a"); c != 15 {
+		t.Fatalf("checking = %d, want 15", c)
+	}
+	if err := Execute(op(BankingAppName, FnDepositChecking, "a", "-5"), st); !errors.Is(err, ErrBadArgs) {
+		t.Fatalf("negative deposit err = %v", err)
+	}
+}
+
+func TestWriteCheck(t *testing.T) {
+	st := KVState{}
+	newAccount(t, st, "a", 10, 20)
+	// The check clears against the combined balance but debits checking,
+	// which may go negative (SmallBank semantics).
+	mustExec(t, st, op(BankingAppName, FnWriteCheck, "a", "25"))
+	if c, s := balances(t, st, "a"); c != -15 || s != 20 {
+		t.Fatalf("balances = %d/%d, want -15/20", c, s)
+	}
+	if err := Execute(op(BankingAppName, FnWriteCheck, "a", "100"), st); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("oversized check err = %v", err)
+	}
+}
+
+func TestAmalgamate(t *testing.T) {
+	st := KVState{}
+	newAccount(t, st, "a", 30, 40)
+	newAccount(t, st, "b", 5, 6)
+	mustExec(t, st, op(BankingAppName, FnAmalgamate, "a", "b"))
+	if c, s := balances(t, st, "a"); c != 0 || s != 0 {
+		t.Fatalf("src balances = %d/%d, want 0/0", c, s)
+	}
+	if c, s := balances(t, st, "b"); c != 75 || s != 6 {
+		t.Fatalf("dst balances = %d/%d, want 75/6", c, s)
+	}
+	if err := Execute(op(BankingAppName, FnAmalgamate, "a", "ghost"), st); !errors.Is(err, ErrAccountNotFound) {
+		t.Fatalf("missing dst err = %v", err)
+	}
+}
+
+func TestSmallBankKeySets(t *testing.T) {
+	if keys := WrittenKeys(op(BankingAppName, FnTransactSavings, "a", "1")); len(keys) != 1 || keys[0] != "acct/a/savings" {
+		t.Fatalf("TransactSavings written keys = %v", keys)
+	}
+	if keys := WrittenKeys(op(BankingAppName, FnWriteCheck, "a", "1")); len(keys) != 1 || keys[0] != "acct/a/checking" {
+		t.Fatalf("WriteCheck written keys = %v", keys)
+	}
+	if keys := TouchedKeys(op(BankingAppName, FnWriteCheck, "a", "1")); len(keys) != 2 {
+		t.Fatalf("WriteCheck touched keys = %v", keys)
+	}
+	if keys := WrittenKeys(op(BankingAppName, FnAmalgamate, "a", "b")); len(keys) != 3 {
+		t.Fatalf("Amalgamate written keys = %v", keys)
+	}
+	for _, fn := range []string{FnTransactSavings, FnDepositChecking, FnWriteCheck, FnAmalgamate} {
+		if ReadOnly(op(BankingAppName, fn, "a", "1")) {
+			t.Errorf("%s must not be read-only", fn)
+		}
+	}
+}
+
+func TestSelfTransfersConserveFunds(t *testing.T) {
+	st := KVState{}
+	newAccount(t, st, "a", 30, 40)
+	// Self-payment and self-amalgamation must not mint money from stale
+	// reads.
+	mustExec(t, st, op(BankingAppName, FnSendPayment, "a", "a", "10"))
+	if c, s := balances(t, st, "a"); c != 30 || s != 40 {
+		t.Fatalf("self-payment balances = %d/%d, want 30/40", c, s)
+	}
+	mustExec(t, st, op(BankingAppName, FnAmalgamate, "a", "a"))
+	if c, s := balances(t, st, "a"); c != 70 || s != 0 {
+		t.Fatalf("self-amalgamate balances = %d/%d, want 70/0", c, s)
+	}
+	if err := Execute(op(BankingAppName, FnSendPayment, "a", "a", "100"), st); !errors.Is(err, ErrInsufficientFunds) {
+		t.Fatalf("overdrawn self-payment err = %v", err)
+	}
+}

@@ -260,3 +260,71 @@ func mustCreate(t *testing.T, s *AccountStore, id string, funds int64) {
 		t.Fatal(err)
 	}
 }
+
+// TestAccountStoreConcurrent exercises the account store under -race:
+// concurrent transfers over a ring of accounts, interleaved with balance
+// reads, creations, and sequence-number advances, must conserve total funds
+// and never trip the race detector.
+func TestAccountStoreConcurrent(t *testing.T) {
+	const (
+		accounts = 16
+		workers  = 8
+		opsEach  = 2000
+		initial  = int64(1000)
+	)
+	s := NewAccountStore()
+	for i := 0; i < accounts; i++ {
+		mustCreate(t, s, fmt.Sprintf("acc-%d", i), initial)
+	}
+	total := s.TotalFunds()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				from := fmt.Sprintf("acc-%d", (w+i)%accounts)
+				to := fmt.Sprintf("acc-%d", (w+i+1)%accounts)
+				switch i % 4 {
+				case 0, 1:
+					// Transfers may fail on drained balances; conservation
+					// is what matters.
+					_ = s.Transfer(from, to, 1)
+				case 2:
+					if _, _, err := s.Balance(from); err != nil {
+						t.Error(err)
+						return
+					}
+				case 3:
+					if !s.Exists(to) {
+						t.Errorf("account %s vanished", to)
+						return
+					}
+				}
+			}
+		}()
+	}
+	// A creator races the transfer workers on the store's write lock.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 64; i++ {
+			id := fmt.Sprintf("extra-%d", i)
+			mustCreate(t, s, id, 0)
+			if err := s.NextSeq(id, 0); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if got := s.TotalFunds(); got != total {
+		t.Fatalf("total funds = %d, want %d (transfers must conserve)", got, total)
+	}
+	if s.Len() != accounts+64 {
+		t.Fatalf("len = %d, want %d", s.Len(), accounts+64)
+	}
+}

@@ -92,9 +92,11 @@ type Network struct {
 	hub          *systems.Hub
 	nodes        []*node
 
-	mu       sync.Mutex
-	running  bool
-	excluded uint64 // transactions dropped by conflict exclusion
+	mu            sync.Mutex
+	running       bool
+	excluded      uint64 // transactions dropped by conflict exclusion
+	excludedOps   uint64 // payload operations those transactions carried
+	execFailedOps uint64 // payload operations discarded by atomic execution failure
 
 	// Sliding conflict window: the touched-key sets of the most recent
 	// included transactions, oldest first.
@@ -265,6 +267,11 @@ func (n *Network) conflictFilter(items []any) (included, excluded []any) {
 		included = append(included, it)
 	}
 	n.excluded += uint64(len(excluded))
+	for _, it := range excluded {
+		if tx, ok := it.(*chain.Transaction); ok {
+			n.excludedOps += uint64(tx.OpCount())
+		}
+	}
 	return included, excluded
 }
 
@@ -292,6 +299,13 @@ func (n *Network) applyDecision(nd *node, d consensus.Decision) {
 		}
 		if txExecutes(tx, nd.state) {
 			surviving = append(surviving, tx)
+		} else if nd == n.nodes[0] {
+			// Atomic discard ("if an operation fails, the whole transaction
+			// is discarded", §5.3) is identical on every node; count the
+			// lost payloads once for the conflict breakdown.
+			n.mu.Lock()
+			n.execFailedOps += uint64(tx.OpCount())
+			n.mu.Unlock()
 		}
 	}
 	ts := time.Unix(0, int64(blk.Slot)) // deterministic per-slot stamp
@@ -404,6 +418,40 @@ func (n *Network) ExcludedCount() uint64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.excluded
+}
+
+// ConflictCounts implements systems.ConflictReporter: payload operations
+// shed by the interacting-operation exclusion and by atomic execution
+// discard, neither of which produces a client event.
+func (n *Network) ConflictCounts() map[string]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[string]uint64, 2)
+	if n.excludedOps > 0 {
+		out[systems.AbortConflictExcluded] = n.excludedOps
+	}
+	if n.execFailedOps > 0 {
+		out[systems.AbortExecFailed] = n.execFailedOps
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// Preload implements systems.Preloader: operations are applied directly to
+// every node's world state at version 0, materializing shared key spaces
+// and account pools before contention load starts.
+func (n *Network) Preload(ops []chain.Operation) error {
+	for _, nd := range n.nodes {
+		for i, op := range ops {
+			a := &kvAdapter{state: nd.state, ver: statestore.Version{TxNum: i}}
+			if err := iel.Execute(op, a); err != nil {
+				return fmt.Errorf("bitshares preload op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // ChainHeight reports node 0's block height.

@@ -22,6 +22,7 @@ package corda
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -162,11 +163,12 @@ type Network struct {
 	notary  *notary.Service
 	signers map[string]*crypto.Identity
 
-	mu      sync.Mutex
-	running bool
-	dropped uint64 // flows lost to queue overflow
-	timeout uint64 // flows lost to deadline
-	failed  uint64 // flows lost to execution/notary failure
+	mu        sync.Mutex
+	running   bool
+	dropped   uint64            // flows lost to queue overflow
+	timeout   uint64            // flows lost to deadline
+	failed    uint64            // flows lost to execution/notary failure
+	conflicts map[string]uint64 // failed flows by canonical abort code
 
 	wg   sync.WaitGroup
 	stop chan struct{}
@@ -178,11 +180,12 @@ var _ systems.Driver = (*Network)(nil)
 func New(cfg Config) *Network {
 	cfg.fill()
 	n := &Network{
-		cfg:     cfg,
-		hub:     systems.NewHub(cfg.Nodes),
-		notary:  notary.NewService("corda-notary"),
-		signers: make(map[string]*crypto.Identity, cfg.Nodes),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		hub:       systems.NewHub(cfg.Nodes),
+		notary:    notary.NewService("corda-notary"),
+		signers:   make(map[string]*crypto.Identity, cfg.Nodes),
+		conflicts: make(map[string]uint64),
+		stop:      make(chan struct{}),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := fmt.Sprintf("corda-node-%d", i)
@@ -295,7 +298,7 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 	// reads and input resolution.
 	utx, readOnly, err := n.buildTransaction(entry, tx, op)
 	if err != nil {
-		n.recordFailure()
+		n.recordFailure(err)
 		return
 	}
 	if n.deadlineExceeded(started) {
@@ -335,7 +338,7 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		return crypto.Signature{Signer: party, Bytes: n.signers[party].Sign(id.Bytes())}, nil
 	})
 	if err != nil {
-		n.recordFailure()
+		n.recordFailure(err)
 		return
 	}
 	if n.deadlineExceeded(started) {
@@ -344,12 +347,12 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 	}
 
 	// Phase 3: notarise when the flow consumes states (§5.8.1: only
-	// SendPayment needs the notary).
+	// state-consuming flows need the notary).
 	if utx != nil && len(utx.Inputs) > 0 {
 		rtt := n.cfg.Latency.Delay(entry.id, n.notary.Name) + n.cfg.Latency.Delay(n.notary.Name, entry.id)
 		n.cfg.Clock.Sleep(rtt)
 		if err := n.notary.Notarise(utx.ID, utx.Inputs); err != nil {
-			n.recordFailure() // double spend: flow fails, tx lost
+			n.recordFailure(err) // double spend: flow fails, tx lost
 			return
 		}
 	}
@@ -387,7 +390,7 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		nd.gate.Do(func() {
 			if err := nd.vault.Apply(utx); err != nil {
 				if !failed.Swap(true) {
-					n.recordFailure()
+					n.recordFailure(err)
 				}
 				return
 			}
@@ -445,9 +448,16 @@ func (n *Network) buildTransaction(entry *node, tx *chain.Transaction, op chain.
 		// The paper's KeyValue-Set "iteratively check[s] whether a KeyValue
 		// pair exists" just like Get (§5.1), so the write pays the
 		// duplicate-check scan. Unlike pure reads it is not budget-bounded:
-		// the flow proceeds once the (always absent) key is not found.
-		n.scanVaultUnbounded(entry, "kv", op.Args[0])
-		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op, nil,
+		// the flow proceeds once the key is (for the paper's partitioned
+		// scheme, always) found absent. When the key does exist — the
+		// contention plane's shared key spaces — the flow consumes the old
+		// state and reissues it, so concurrent writers of one hot key race
+		// at the notary instead of silently accumulating duplicates.
+		var inputs []chain.StateRef
+		if ref, _, found := n.findStateOpt(entry, "kv", op.Args[0]); found {
+			inputs = []chain.StateRef{ref}
+		}
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op, inputs,
 			[]chain.ContractState{{Kind: "kv", Key: op.Args[0], Value: op.Args[1], Owner: tx.Client}})
 		return utx, false, nil
 
@@ -503,9 +513,183 @@ func (n *Network) buildTransaction(entry *node, tx *chain.Transaction, op chain.
 		}
 		return nil, true, nil
 
+	case op.IEL == iel.BankingAppName && op.Function == iel.FnTransactSavings:
+		// The flow consumes the savings state and reissues it with the new
+		// balance; concurrent flows on the same account race at the notary.
+		if len(op.Args) != 2 {
+			return nil, false, fmt.Errorf("corda: TransactSavings wants 2 args")
+		}
+		id := op.Args[0]
+		ref, st, err := n.findState(entry, "savings", id)
+		if err != nil {
+			return nil, false, err
+		}
+		bal, amt, err := parseBalanceDelta(st.Value, op.Args[1])
+		if err != nil {
+			return nil, false, err
+		}
+		if bal+amt < 0 {
+			return nil, false, fmt.Errorf("%w: %q savings %d, delta %d", iel.ErrInsufficientFunds, id, bal, amt)
+		}
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op,
+			[]chain.StateRef{ref},
+			[]chain.ContractState{{Kind: "savings", Key: id, Value: formatBalance(bal + amt), Owner: tx.Client}})
+		return utx, false, nil
+
+	case op.IEL == iel.BankingAppName && op.Function == iel.FnDepositChecking:
+		if len(op.Args) != 2 {
+			return nil, false, fmt.Errorf("corda: DepositChecking wants 2 args")
+		}
+		id := op.Args[0]
+		ref, st, err := n.findState(entry, "account", id)
+		if err != nil {
+			return nil, false, err
+		}
+		bal, amt, err := parseBalanceDelta(st.Value, op.Args[1])
+		if err != nil || amt < 0 {
+			return nil, false, fmt.Errorf("corda: bad deposit amount %q", op.Args[1])
+		}
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op,
+			[]chain.StateRef{ref},
+			[]chain.ContractState{{Kind: "account", Key: id, Value: formatBalance(bal + amt), Owner: tx.Client}})
+		return utx, false, nil
+
+	case op.IEL == iel.BankingAppName && op.Function == iel.FnWriteCheck:
+		// The check clears against checking + savings but only the checking
+		// state is consumed and reissued.
+		if len(op.Args) != 2 {
+			return nil, false, fmt.Errorf("corda: WriteCheck wants 2 args")
+		}
+		id := op.Args[0]
+		ref, st, err := n.findState(entry, "account", id)
+		if err != nil {
+			return nil, false, err
+		}
+		_, sav, err := n.findState(entry, "savings", id)
+		if err != nil {
+			return nil, false, err
+		}
+		checking, amt, err := parseBalanceDelta(st.Value, op.Args[1])
+		if err != nil || amt < 0 {
+			return nil, false, fmt.Errorf("corda: bad check amount %q", op.Args[1])
+		}
+		savings, _ := strconv.ParseInt(sav.Value, 10, 64)
+		if checking+savings < amt {
+			return nil, false, fmt.Errorf("%w: %q has %d, check for %d", iel.ErrInsufficientFunds, id, checking+savings, amt)
+		}
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op,
+			[]chain.StateRef{ref},
+			[]chain.ContractState{{Kind: "account", Key: id, Value: formatBalance(checking - amt), Owner: tx.Client}})
+		return utx, false, nil
+
+	case op.IEL == iel.BankingAppName && op.Function == iel.FnAmalgamate:
+		// Consumes three states across two accounts — the family's widest
+		// notary conflict footprint.
+		if len(op.Args) != 2 {
+			return nil, false, fmt.Errorf("corda: Amalgamate wants 2 args")
+		}
+		src, dst := op.Args[0], op.Args[1]
+		srcChkRef, srcChk, err := n.findState(entry, "account", src)
+		if err != nil {
+			return nil, false, err
+		}
+		srcSavRef, srcSav, err := n.findState(entry, "savings", src)
+		if err != nil {
+			return nil, false, err
+		}
+		dstRef, dstChk, err := n.findState(entry, "account", dst)
+		if err != nil {
+			return nil, false, err
+		}
+		sc, _ := strconv.ParseInt(srcChk.Value, 10, 64)
+		ss, _ := strconv.ParseInt(srcSav.Value, 10, 64)
+		dc, _ := strconv.ParseInt(dstChk.Value, 10, 64)
+		utx := chain.NewUTXOTransaction(tx.Client, tx.Seq, op,
+			[]chain.StateRef{srcChkRef, srcSavRef, dstRef},
+			[]chain.ContractState{
+				{Kind: "account", Key: src, Value: "0", Owner: tx.Client},
+				{Kind: "savings", Key: src, Value: "0", Owner: tx.Client},
+				{Kind: "account", Key: dst, Value: formatBalance(dc + sc + ss), Owner: tx.Client},
+			})
+		return utx, false, nil
+
 	default:
 		return nil, false, fmt.Errorf("corda: unsupported operation %s", op)
 	}
+}
+
+// findStateOpt resolves one vault state for a write flow: like the Set
+// duplicate check it pays the full scan cost without a read budget.
+func (n *Network) findStateOpt(entry *node, kind, key string) (chain.StateRef, chain.ContractState, bool) {
+	var (
+		outRef chain.StateRef
+		outSt  chain.ContractState
+		found  bool
+	)
+	visited := entry.vault.LinearScan(func(ref chain.StateRef, st chain.ContractState) bool {
+		if st.Kind == kind && st.Key == key {
+			outRef, outSt, found = ref, st, true
+			return true
+		}
+		return false
+	})
+	if cost := time.Duration(visited) * n.cfg.ScanCost; cost > 0 {
+		n.cfg.Clock.Sleep(cost)
+	}
+	return outRef, outSt, found
+}
+
+// findState is findStateOpt for flows whose input must exist.
+func (n *Network) findState(entry *node, kind, key string) (chain.StateRef, chain.ContractState, error) {
+	ref, st, found := n.findStateOpt(entry, kind, key)
+	if !found {
+		return chain.StateRef{}, chain.ContractState{}, fmt.Errorf("%w: %q (%s)", iel.ErrAccountNotFound, key, kind)
+	}
+	return ref, st, nil
+}
+
+// parseBalanceDelta parses a stored balance and a delta argument.
+func parseBalanceDelta(balance, delta string) (int64, int64, error) {
+	bal, err := strconv.ParseInt(balance, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("corda: corrupt balance %q: %v", balance, err)
+	}
+	amt, err := strconv.ParseInt(delta, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("corda: bad amount %q", delta)
+	}
+	return bal, amt, nil
+}
+
+func formatBalance(v int64) string { return strconv.FormatInt(v, 10) }
+
+// Preload implements systems.Preloader: setup operations are issued as
+// genesis UTXO transactions applied identically to every vault, so the
+// resulting state references agree network-wide and later flows can
+// consume them. KeyValue Sets become kv states; CreateAccounts become an
+// account (checking) plus a savings state.
+func (n *Network) Preload(ops []chain.Operation) error {
+	for i, op := range ops {
+		var outputs []chain.ContractState
+		switch {
+		case op.IEL == iel.KeyValueName && op.Function == iel.FnSet && len(op.Args) == 2:
+			outputs = []chain.ContractState{{Kind: "kv", Key: op.Args[0], Value: op.Args[1], Owner: "preload"}}
+		case op.IEL == iel.BankingAppName && op.Function == iel.FnCreateAccount && len(op.Args) == 3:
+			outputs = []chain.ContractState{
+				{Kind: "account", Key: op.Args[0], Value: op.Args[1], Owner: "preload"},
+				{Kind: "savings", Key: op.Args[0], Value: op.Args[2], Owner: "preload"},
+			}
+		default:
+			return fmt.Errorf("corda preload op %d: unsupported operation %s", i, op)
+		}
+		utx := chain.NewUTXOTransaction("preload", uint64(i), op, nil, outputs)
+		for _, nd := range n.nodes {
+			if err := nd.vault.Apply(utx); err != nil {
+				return fmt.Errorf("corda preload op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // errScanBudget marks a vault scan abandoned for exceeding ReadScanBudget.
@@ -540,18 +724,6 @@ func (n *Network) scanVault(entry *node, kind, key string) (chain.StateRef, chai
 	return outRef, outSt, found, nil
 }
 
-// scanVaultUnbounded walks the whole vault charging ScanCost per state,
-// with no read budget — used by the Set duplicate check, which always scans
-// to completion.
-func (n *Network) scanVaultUnbounded(entry *node, kind, key string) {
-	visited := entry.vault.LinearScan(func(_ chain.StateRef, st chain.ContractState) bool {
-		return st.Kind == kind && st.Key == key
-	})
-	if cost := time.Duration(visited) * n.cfg.ScanCost; cost > 0 {
-		n.cfg.Clock.Sleep(cost)
-	}
-}
-
 func flowTxID(tx *chain.Transaction, utx *chain.UTXOTransaction) crypto.Hash {
 	if utx != nil {
 		return utx.ID
@@ -563,10 +735,34 @@ func (n *Network) deadlineExceeded(started time.Time) bool {
 	return n.cfg.Clock.Since(started) > n.cfg.FlowTimeout
 }
 
-func (n *Network) recordFailure() {
+// recordFailure counts one lost flow, classified by abort code for the
+// conflict breakdown: notary/vault double spends become "double-spend",
+// balance failures "insufficient-funds", everything else "flow-failed".
+func (n *Network) recordFailure(err error) {
+	code := systems.ClassifyAbort(err)
+	if code == "" || code == systems.AbortExecFailed {
+		code = systems.AbortFlowFailed
+	}
 	n.mu.Lock()
 	n.failed++
+	n.conflicts[code]++
 	n.mu.Unlock()
+}
+
+// ConflictCounts implements systems.ConflictReporter: failed flows by abort
+// code. Corda flows are single-operation, so flow counts equal payload
+// counts.
+func (n *Network) ConflictCounts() map[string]uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.conflicts) == 0 {
+		return nil
+	}
+	out := make(map[string]uint64, len(n.conflicts))
+	for k, v := range n.conflicts {
+		out[k] = v
+	}
+	return out
 }
 
 func (n *Network) recordTimeout() {

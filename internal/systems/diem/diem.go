@@ -280,9 +280,25 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 		}
 		if execErr != nil {
 			ev.Reason = execErr.Error()
+			ev.Code = systems.ClassifyAbort(execErr)
 		}
 		v.hubNode.Committed(ev, now)
 	}
+}
+
+// Preload implements systems.Preloader: operations are applied directly to
+// every validator's world state at version 0, materializing shared key
+// spaces and account pools before contention load starts.
+func (n *Network) Preload(ops []chain.Operation) error {
+	for _, v := range n.validators {
+		for i, op := range ops {
+			a := &kvAdapter{state: v.state, ver: statestore.Version{TxNum: i}}
+			if err := iel.Execute(op, a); err != nil {
+				return fmt.Errorf("diem preload op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
 }
 
 // CrashNode implements systems.Driver: the validator's commit plane stops

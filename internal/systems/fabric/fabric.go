@@ -427,9 +427,45 @@ func (n *Network) commitOnPeer(p *peer, batch cutBatch) {
 		}
 		if validErr != nil {
 			ev.Reason = validErr.Error()
+			ev.Code = systems.ClassifyAbort(validErr)
 		}
 		p.hubNode.Committed(ev, now)
 	}
+}
+
+// Preload implements systems.Preloader: the operations are applied directly
+// to every peer's world state at version 0 (the YCSB load-phase analogue),
+// so contention workloads start from a materialized shared key space. The
+// identical version on every peer keeps later MVCC validation consistent.
+func (n *Network) Preload(ops []chain.Operation) error {
+	for _, p := range n.peers {
+		a := &preloadState{state: p.state}
+		for i, op := range ops {
+			a.txNum = i
+			if err := iel.Execute(op, a); err != nil {
+				return fmt.Errorf("fabric preload op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// preloadState adapts direct KVStore writes to iel.StateOps at version
+// {0, txNum}.
+type preloadState struct {
+	state *statestore.KVStore
+	txNum int
+}
+
+var _ iel.StateOps = (*preloadState)(nil)
+
+func (a *preloadState) Get(key string) (string, bool) {
+	v, ok := a.state.Get(key)
+	return v.Value, ok
+}
+
+func (a *preloadState) Put(key, value string) {
+	a.state.Set(key, value, statestore.Version{TxNum: a.txNum})
 }
 
 // CrashNode implements systems.Driver: the peer stops committing blocks and

@@ -350,6 +350,7 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 		}
 		if execErr != nil {
 			ev.Reason = execErr.Error()
+			ev.Code = systems.ClassifyAbort(execErr)
 		}
 		v.hubNode.Committed(ev, now)
 	}
@@ -400,6 +401,21 @@ func (a *kvAdapter) Get(key string) (string, bool) {
 }
 
 func (a *kvAdapter) Put(key, value string) { a.state.Set(key, value, a.ver) }
+
+// Preload implements systems.Preloader: operations are applied directly to
+// every validator's world state at version 0, materializing shared key
+// spaces and account pools before contention load starts.
+func (n *Network) Preload(ops []chain.Operation) error {
+	for _, v := range n.validators {
+		for i, op := range ops {
+			a := &kvAdapter{state: v.state, ver: statestore.Version{TxNum: i}}
+			if err := iel.Execute(op, a); err != nil {
+				return fmt.Errorf("quorum preload op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
 
 // Stalled reports whether any validator has latched the livelock.
 func (n *Network) Stalled() bool {

@@ -20,6 +20,7 @@ package sawtooth
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/chain"
@@ -110,6 +111,10 @@ type Network struct {
 	running bool
 	stop    chan struct{}
 	done    chan struct{}
+
+	// discardedOps counts payload operations lost to atomic batch discard
+	// (counted once per decision, on validator 0's identical replay).
+	discardedOps atomic.Uint64
 }
 
 var _ systems.Driver = (*Network)(nil)
@@ -351,6 +356,12 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 		if batchExecutes(b, v.state) {
 			surviving = append(surviving, b.Txs...)
 			survivingBatches = append(survivingBatches, b)
+		} else if v == n.validators[0] {
+			// Every validator discards the same batches; count the lost
+			// payloads once for the conflict breakdown.
+			for _, tx := range b.Txs {
+				n.discardedOps.Add(uint64(tx.OpCount()))
+			}
 		}
 	}
 	cb := chain.NewBlock(v.ledger.Head(), blk.Publisher, blk.PublishedAt, surviving)
@@ -507,4 +518,30 @@ func (n *Network) ChainHeight() uint64 { return n.validators[0].ledger.Height() 
 // WorldState exposes validator i's state.
 func (n *Network) WorldState(i int) *statestore.KVStore {
 	return n.validators[i%len(n.validators)].state
+}
+
+// Preload implements systems.Preloader: operations are applied directly to
+// every validator's world state at version 0, materializing shared key
+// spaces and account pools before contention load starts.
+func (n *Network) Preload(ops []chain.Operation) error {
+	for _, v := range n.validators {
+		for i, op := range ops {
+			a := &kvAdapter{state: v.state, ver: statestore.Version{TxNum: i}}
+			if err := iel.Execute(op, a); err != nil {
+				return fmt.Errorf("sawtooth preload op %d: %w", i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ConflictCounts implements systems.ConflictReporter: payload operations
+// lost to the atomic batch discard ("if a transaction fails within a batch,
+// the entire batch ... is completely discarded", §5.6). These never produce
+// client events, so the runner folds them in system-side.
+func (n *Network) ConflictCounts() map[string]uint64 {
+	if d := n.discardedOps.Load(); d > 0 {
+		return map[string]uint64{systems.AbortBatchDiscarded: d}
+	}
+	return nil
 }

@@ -11,11 +11,76 @@ import (
 
 	"github.com/coconut-bench/coconut/internal/chain"
 	"github.com/coconut-bench/coconut/internal/crypto"
+	"github.com/coconut-bench/coconut/internal/iel"
+	"github.com/coconut-bench/coconut/internal/statestore"
 )
 
 // ErrNodeDown is returned by Submit when the entry node is crashed and by
 // the crash hooks on invalid node indices.
 var ErrNodeDown = errors.New("systems: node is down")
+
+// Canonical abort-reason codes carried in Event.Code when a transaction
+// commits invalid (or, for systems that shed conflicting work without a
+// client event, in ConflictReporter counts). The contention workload plane
+// aggregates goodput and a per-reason conflict breakdown from them.
+const (
+	// AbortMVCCConflict is Fabric's MVCC_READ_CONFLICT: a read version went
+	// stale between endorsement and commit.
+	AbortMVCCConflict = "mvcc-conflict"
+	// AbortInsufficientFunds is a balance failure in the BankingApp /
+	// SmallBank execution (order-execute systems include the failed tx).
+	AbortInsufficientFunds = "insufficient-funds"
+	// AbortAccountExists is a duplicate CreateAccount.
+	AbortAccountExists = "account-exists"
+	// AbortAccountNotFound is a read/transfer against a missing account.
+	AbortAccountNotFound = "account-not-found"
+	// AbortKeyNotFound is a KeyValue Get against a missing key.
+	AbortKeyNotFound = "key-not-found"
+	// AbortBadSequence is Diem-style sequence-number admission failure.
+	AbortBadSequence = "bad-sequence"
+	// AbortConflictExcluded is BitShares' interacting-operation exclusion:
+	// the transaction touched keys already touched in the window and was
+	// dropped from the forming block.
+	AbortConflictExcluded = "conflict-excluded"
+	// AbortBatchDiscarded is Sawtooth's atomic batch failure: one member
+	// failed, the whole batch was discarded.
+	AbortBatchDiscarded = "batch-discarded"
+	// AbortDoubleSpend is a Corda notary rejection of an already-consumed
+	// input state.
+	AbortDoubleSpend = "double-spend"
+	// AbortFlowFailed is a Corda flow failure other than a notary conflict.
+	AbortFlowFailed = "flow-failed"
+	// AbortExecFailed is any other execution failure.
+	AbortExecFailed = "exec-failed"
+)
+
+// ClassifyAbort maps an execution/validation error onto a canonical abort
+// code, so all seven drivers report comparable conflict breakdowns. A nil
+// error returns "".
+func ClassifyAbort(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, statestore.ErrMVCCConflict):
+		return AbortMVCCConflict
+	case errors.Is(err, iel.ErrInsufficientFunds), errors.Is(err, statestore.ErrInsufficientFunds):
+		return AbortInsufficientFunds
+	case errors.Is(err, iel.ErrAccountExists), errors.Is(err, statestore.ErrAccountExists):
+		return AbortAccountExists
+	case errors.Is(err, iel.ErrAccountNotFound), errors.Is(err, statestore.ErrAccountNotFound):
+		return AbortAccountNotFound
+	case errors.Is(err, iel.ErrKeyNotFound):
+		return AbortKeyNotFound
+	case errors.Is(err, statestore.ErrBadSequence):
+		return AbortBadSequence
+	default:
+		var ds *chain.DoubleSpendError
+		if errors.As(err, &ds) {
+			return AbortDoubleSpend
+		}
+		return AbortExecFailed
+	}
+}
 
 // Event is the finalization notification delivered to a COCONUT client once
 // a transaction has been persisted on every node.
@@ -32,6 +97,10 @@ type Event struct {
 	ValidOK bool
 	// Reason carries the failure cause when ValidOK is false.
 	Reason string
+	// Code is the canonical abort-reason code (see ClassifyAbort) when
+	// ValidOK is false; clients aggregate it into the per-reason conflict
+	// breakdown and the goodput-vs-raw-throughput split.
+	Code string
 	// OpCount is the number of operations the transaction carried; the
 	// paper counts each BitShares operation as one transaction (§4.5).
 	OpCount int
@@ -74,6 +143,26 @@ type Driver interface {
 	// state-transfer real systems perform on rejoin), and resumes normal
 	// participation. Restarting a node that is not crashed is a no-op.
 	RestartNode(node int) error
+}
+
+// Preloader is optionally implemented by drivers that can seed every node's
+// world state directly, bypassing consensus — the YCSB "load phase"
+// analogue. The contention workload plane uses it to materialize shared key
+// spaces and SmallBank account pools before load starts, so measured abort
+// rates reflect genuine runtime conflicts rather than setup races. Preload
+// must run after Start and before any Submit.
+type Preloader interface {
+	Preload(ops []chain.Operation) error
+}
+
+// ConflictReporter is optionally implemented by drivers that shed
+// conflicting or failing work without a client event (BitShares'
+// interacting-operation exclusion, Sawtooth's atomic batch discard, Corda's
+// notary rejections). Counts are cumulative per abort code; the runner
+// snapshots them around each phase and folds the deltas into the conflict
+// breakdown alongside client-observed aborts.
+type ConflictReporter interface {
+	ConflictCounts() map[string]uint64
 }
 
 // Quiescer is optionally implemented by drivers whose admission queues can
