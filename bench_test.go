@@ -11,7 +11,7 @@
 package coconutbench
 
 import (
-	"io"
+	"context"
 	"strconv"
 	"testing"
 	"time"
@@ -356,19 +356,53 @@ func BenchmarkContentionMacro(b *testing.B) {
 	for _, cell := range cells {
 		cell := cell
 		b.Run(sanitize(cell.system)+"/"+cell.mix+"/"+cell.skew, func(b *testing.B) {
+			sc := experiments.NewContentionScenario([]string{cell.mix}, []string{cell.skew}, 0)
+			sc.Systems = []string{cell.system}
 			var last coconut.Result
 			for i := 0; i < b.N; i++ {
-				outcomes, err := experiments.RunContentionSweep(
-					[]string{cell.mix}, []string{cell.skew}, 0, opts, cell.system, io.Discard)
+				outcome, err := experiments.Run(context.Background(), sc, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
-				last = outcomes[0].Result
+				last = outcome.Rows[0].Result
 			}
 			b.ReportMetric(last.MTPS.Mean, "MTPS")
 			b.ReportMetric(last.Goodput.Mean, "goodput")
 			b.ReportMetric(100*last.AbortRate.Mean, "abortPct")
 			b.ReportMetric(last.Received.Mean, "receivedNoT")
+		})
+	}
+}
+
+// BenchmarkScenarioChaosMacro runs the composed contention-under-chaos
+// scenario (skewed SmallBank across a partition-heal) on the two systems
+// whose recovery modes differ most, reporting the goodput-recovery metric
+// so the BENCH_N.json trajectory tracks it alongside MTPS and abort rates.
+func BenchmarkScenarioChaosMacro(b *testing.B) {
+	opts := benchOptions()
+	opts.SendSeconds = 100
+	for _, system := range []string{systems.NameFabric, systems.NameQuorum} {
+		system := system
+		b.Run(sanitize(system), func(b *testing.B) {
+			sc, err := experiments.ScenarioByName("contention-under-chaos")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc.Systems = []string{system}
+			var last coconut.Result
+			for i := 0; i < b.N; i++ {
+				outcome, err := experiments.Run(context.Background(), sc, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = outcome.Rows[0].Result
+			}
+			b.ReportMetric(last.MTPS.Mean, "MTPS")
+			b.ReportMetric(last.Goodput.Mean, "goodput")
+			b.ReportMetric(100*last.AbortRate.Mean, "abortPct")
+			b.ReportMetric(100*last.Availability.Mean, "availPct")
+			b.ReportMetric(last.RecoverySec.Mean, "recoverySec")
+			b.ReportMetric(last.GoodputRecoverySec.Mean, "goodputRecoverySec")
 		})
 	}
 }

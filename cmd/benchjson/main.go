@@ -10,6 +10,12 @@
 // Every benchmark line is parsed into its name, iteration count, and the
 // full metric map (ns/op, B/op, allocs/op, plus custom b.ReportMetric
 // values such as MTPS).
+//
+// Scenario outcomes join the same trajectory: -outcome label=outcomes.json
+// ingests the JSON written by `coconut-sweep -json`, turning every result
+// row into one entry whose metrics carry MTPS, goodput, abort rate, and —
+// when the fault axis was active — availability and both recovery clocks
+// (raw and goodput).
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"github.com/coconut-bench/coconut/internal/experiments"
 )
 
 // Entry is one parsed benchmark result line.
@@ -47,15 +55,29 @@ func main() {
 	}
 }
 
+// outcomeArgs collects repeatable -outcome label=path flags.
+type outcomeArgs []string
+
+func (o *outcomeArgs) String() string     { return strings.Join(*o, ",") }
+func (o *outcomeArgs) Set(v string) error { *o = append(*o, v); return nil }
+
 func run() error {
 	out := flag.String("out", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the report")
+	var outcomes outcomeArgs
+	flag.Var(&outcomes, "outcome", "label=outcomes.json pair ingesting a `coconut-sweep -json` file (repeatable)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		return fmt.Errorf("usage: benchjson [-out file] label=benchoutput.txt ...")
+	if flag.NArg() == 0 && len(outcomes) == 0 {
+		return fmt.Errorf("usage: benchjson [-out file] [-outcome label=outcomes.json] label=benchoutput.txt ...")
 	}
 
 	rep := Report{Go: runtime.Version(), Runs: map[string][]Entry{}, Note: *note}
+	addEntries := func(label string, entries []Entry) {
+		rep.Runs[label] = append(rep.Runs[label], entries...)
+		if !slices.Contains(rep.Labels, label) {
+			rep.Labels = append(rep.Labels, label)
+		}
+	}
 	for _, arg := range flag.Args() {
 		label, path, ok := strings.Cut(arg, "=")
 		if !ok {
@@ -65,10 +87,18 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
-		rep.Runs[label] = append(rep.Runs[label], entries...)
-		if !slices.Contains(rep.Labels, label) {
-			rep.Labels = append(rep.Labels, label)
+		addEntries(label, entries)
+	}
+	for _, arg := range outcomes {
+		label, path, ok := strings.Cut(arg, "=")
+		if !ok {
+			return fmt.Errorf("-outcome %q is not label=path", arg)
 		}
+		entries, err := parseOutcomeFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		addEntries(label, entries)
 	}
 	sort.Strings(rep.Labels)
 
@@ -82,6 +112,50 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// parseOutcomeFile converts a `coconut-sweep -json` outcomes file into
+// entries: one per result row, named Scenario/<name>/<system>/<load>, with
+// the contention and fault metrics that have no `go test -bench` source.
+func parseOutcomeFile(path string) ([]Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var outcomes []*experiments.Outcome
+	if err := json.Unmarshal(data, &outcomes); err != nil {
+		return nil, fmt.Errorf("parse outcomes: %w", err)
+	}
+	var entries []Entry
+	for _, oc := range outcomes {
+		scenario := oc.Scenario.Name
+		if scenario == "" {
+			scenario = "scenario"
+		}
+		for _, row := range oc.Rows {
+			name := "Scenario/" + scenario + "/" + strings.ReplaceAll(row.System, " ", "_") +
+				"/" + strings.ReplaceAll(row.Benchmark, " ", "_")
+			r := row.Result
+			metrics := map[string]float64{
+				"MTPS":        r.MTPS.Mean,
+				"goodput":     r.Goodput.Mean,
+				"abortPct":    100 * r.AbortRate.Mean,
+				"receivedNoT": r.Received.Mean,
+				"expectedNoT": r.Expected.Mean,
+			}
+			if r.Availability.N > 0 {
+				metrics["availPct"] = 100 * r.Availability.Mean
+			}
+			if r.RecoverySec.N > 0 {
+				metrics["recoverySec"] = r.RecoverySec.Mean
+			}
+			if r.GoodputRecoverySec.N > 0 {
+				metrics["goodputRecoverySec"] = r.GoodputRecoverySec.Mean
+			}
+			entries = append(entries, Entry{Name: name, Iterations: 1, Metrics: metrics})
+		}
+	}
+	return entries, nil
 }
 
 // parseFile extracts benchmark result lines from one `go test -bench`

@@ -1,27 +1,29 @@
-// Command coconut-sweep regenerates the paper's figures and tables: the
-// Figure 3 best-MTPS heat map, the Figure 4 latency-impact grid, the
-// Figure 5 scalability sweep, and Tables 7-20, each with paper-vs-measured
-// rows suitable for EXPERIMENTS.md.
+// Command coconut-sweep runs experiment scenarios: declarative,
+// serializable specs composing system x workload x arrival x faults x
+// scale, executed by one engine (experiments.Run) and rendered by one
+// report writer. The paper's figures and tables, the chaos presets, and
+// the contention grid are all named scenarios in the registry; ad-hoc
+// compositions load from JSON files.
 //
 // Examples:
 //
-//	coconut-sweep -figure 3                # full 42-cell heat map
-//	coconut-sweep -figure 4 -system Fabric # one system's latency column
-//	coconut-sweep -figure 5                # scalability, 4..32 nodes
-//	coconut-sweep -table 13+14             # Fabric SendPayment rows
-//	coconut-sweep -tables                  # all tables
-//	coconut-sweep -faults partition-heal   # all systems under a chaos preset
-//	coconut-sweep -list                    # enumerate every valid flag value
+//	coconut-sweep -scenario figure3                 # full 42-cell heat map
+//	coconut-sweep -scenario figure4 -system Fabric  # one system's latency column
+//	coconut-sweep -scenario table13+14              # Fabric SendPayment rows
+//	coconut-sweep -scenario faults-partition-heal   # chaos preset, all systems
+//	coconut-sweep -scenario contention-under-chaos  # skewed SmallBank across a partition-heal
+//	coconut-sweep -scenario my-experiment.json      # spec from a file
+//	coconut-sweep -scenario figure3,table15+16 -md EXPERIMENTS.md  # combined report
+//	coconut-sweep -list                             # every scenario and flag value
 //
-// Beyond the paper's conflict-free grid, the contention workload plane
-// measures goodput vs. raw throughput under skewed shared-state access:
-//
-//	coconut-sweep -workload smallbank -skew zipfian      # SmallBank, all systems
-//	coconut-sweep -workload kv -mix ycsb-a -skew hotspot # YCSB-A hotspot
-//	coconut-sweep -workload all -skew all                # full contention grid
+// The pre-scenario flags keep working and map onto registry scenarios:
+// -figure 3/4/5, -table ID, -tables, -faults PRESET, and
+// -workload/-mix/-skew/-keys produce exactly the scenarios named above.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -44,25 +46,27 @@ func main() {
 
 func run() error {
 	var (
-		figure    = flag.Int("figure", 0, "figure to regenerate (3, 4, or 5)")
-		mdPath    = flag.String("md", "", "also write a markdown report to this file")
-		table     = flag.String("table", "", "table to regenerate (7+8, 9+10, 11+12, 13+14, 15+16, 17+18, 19+20)")
-		allTables = flag.Bool("tables", false, "regenerate every table")
-		system    = flag.String("system", "", "restrict to one system")
-		scale     = flag.Float64("scale", 0.01, "time scale")
-		sendSec   = flag.Float64("send", 300, "sending window in paper seconds")
-		reps      = flag.Int("reps", 1, "repetitions (the paper uses 3)")
-		seed      = flag.Int64("seed", 42, "deterministic seed")
-		arrival   = flag.String("arrival", "uniform", "client arrival schedule: uniform, poisson, or burst[:N]")
-		faultsArg = flag.String("faults", "", "chaos preset to run all systems under: "+
+		scenarioArg = flag.String("scenario", "", "comma-separated scenarios to run: registry names (see -list) or JSON spec files")
+		jsonPath    = flag.String("json", "", "write the outcomes as JSON to this file (benchjson -outcome ingests it)")
+		figure      = flag.Int("figure", 0, "legacy: figure to regenerate (3, 4, or 5); same as -scenario figureN")
+		mdPath      = flag.String("md", "", "also write the combined markdown report to this file")
+		table       = flag.String("table", "", "legacy: table to regenerate (7+8, ..., 19+20); same as -scenario tableID")
+		allTables   = flag.Bool("tables", false, "legacy: regenerate every table")
+		system      = flag.String("system", "", "restrict every scenario to one system")
+		scale       = flag.Float64("scale", 0.01, "time scale")
+		sendSec     = flag.Float64("send", 300, "sending window in paper seconds")
+		reps        = flag.Int("reps", 1, "repetitions (the paper uses 3)")
+		seed        = flag.Int64("seed", 42, "deterministic seed")
+		arrival     = flag.String("arrival", "uniform", "client arrival schedule: uniform, poisson, or burst[:N]")
+		faultsArg   = flag.String("faults", "", "legacy: chaos preset to run all systems under; same as -scenario faults-PRESET: "+
 			strings.Join(faults.PresetNames(), ", "))
-		workloadArg = flag.String("workload", "", "contention workload family to sweep: kv, smallbank, or all")
+		workloadArg = flag.String("workload", "", "legacy: contention workload family to sweep: kv, smallbank, or all")
 		mixArg      = flag.String("mix", "", "operation mix for -workload kv (default ycsb-a): "+
 			strings.Join(workload.MixNames(), ", ")+", or all")
 		skewArg = flag.String("skew", "zipfian", "key distribution for -workload: "+
 			strings.Join(workload.DistNames(), ", ")+", or all")
 		keysArg    = flag.Int("keys", 0, "shared key-space / account-pool size for -workload (0 = default)")
-		list       = flag.Bool("list", false, "enumerate valid benchmarks, arrivals, fault presets, workloads, mixes, and skews")
+		list       = flag.Bool("list", false, "enumerate scenarios, benchmarks, arrivals, fault presets, workloads, mixes, and skews")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the sweep finishes")
 	)
@@ -108,136 +112,194 @@ func run() error {
 		Repetitions: *reps,
 		Arrival:     *arrival,
 		Seed:        *seed,
+		Progress:    printProgress,
 	}
 
-	var md *os.File
+	scenarios, err := resolveScenarios(*scenarioArg, *figure, *table, *allTables, *faultsArg, *workloadArg, *mixArg, *skewArg, *keysArg)
+	if err != nil {
+		return err
+	}
+	if len(scenarios) == 0 {
+		flag.Usage()
+		return fmt.Errorf("nothing to do: pass -scenario (or the legacy -figure/-table/-tables/-faults/-workload flags), or -list")
+	}
+	if *system != "" {
+		// Restrict, never replace: a scenario pinned to other systems (a
+		// paper table) is skipped with a notice instead of being run
+		// against a system its parameters and references do not describe.
+		restricted := scenarios[:0]
+		for _, sc := range scenarios {
+			keep := false
+			for _, s := range sc.Systems {
+				if s == *system {
+					keep = true
+				}
+			}
+			if len(sc.Systems) == 0 {
+				// Default = all systems; validation rejects unknown names.
+				keep = true
+			}
+			if !keep {
+				fmt.Fprintf(os.Stderr, "coconut-sweep: skipping %s: it does not include system %q (systems: %s)\n",
+					sc.Name, *system, strings.Join(sc.Systems, ", "))
+				continue
+			}
+			sc.Systems = []string{*system}
+			restricted = append(restricted, sc)
+		}
+		scenarios = restricted
+		if len(scenarios) == 0 {
+			return fmt.Errorf("no requested scenario includes system %q", *system)
+		}
+	}
+
+	var outcomes []*experiments.Outcome
+	for _, sc := range scenarios {
+		fmt.Printf("== Scenario %s: %s ==\n", sc.Name, sc.Description)
+		oc, err := experiments.Run(context.Background(), sc, opts)
+		if err != nil {
+			return err
+		}
+		outcomes = append(outcomes, oc)
+		if sc.PaperRef == "figure3" {
+			for _, line := range experiments.ShapeChecks(oc.Rows) {
+				fmt.Println("  " + line)
+			}
+		}
+	}
+
 	if *mdPath != "" {
 		f, err := os.Create(*mdPath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		md = f
-	}
-
-	did := false
-	switch *figure {
-	case 0:
-	case 3:
-		did = true
-		fmt.Println("== Figure 3: best MTPS per system and benchmark ==")
-		outcomes, err := experiments.RunFigure3(opts, *system, os.Stdout)
-		if err != nil {
-			return err
-		}
-		if md != nil {
-			if err := experiments.WriteFigureReport(md, "Figure 3 — best MTPS heat map", outcomes); err != nil {
-				return err
-			}
-		}
-		for _, line := range experiments.ShapeChecks(outcomes) {
-			fmt.Println("  " + line)
-		}
-	case 4:
-		did = true
-		fmt.Println("== Figure 4: best configurations under emulated latency ==")
-		outcomes, err := experiments.RunFigure4(opts, *system, os.Stdout)
-		if err != nil {
-			return err
-		}
-		if md != nil {
-			if err := experiments.WriteFigureReport(md, "Figure 4 — emulated latency", outcomes); err != nil {
-				return err
-			}
-		}
-	case 5:
-		did = true
-		fmt.Println("== Figure 5: DoNothing scalability (4/8/16/32 nodes) ==")
-		points, err := experiments.RunFigure5(opts, *system, os.Stdout)
-		if err != nil {
-			return err
-		}
-		if md != nil {
-			if err := experiments.WriteScaleReport(md, "Figure 5 — scalability", points); err != nil {
-				return err
-			}
-		}
-	default:
-		return fmt.Errorf("unknown figure %d (want 3, 4, or 5)", *figure)
-	}
-
-	runOne := func(tbl experiments.Table) error {
-		fmt.Printf("== Table %s: %s ==\n", tbl.ID, tbl.Title)
-		outcomes, err := experiments.RunTable(tbl, opts, os.Stdout)
-		if err != nil {
-			return err
-		}
-		if md != nil {
-			return experiments.WriteTableReport(md, tbl, outcomes)
-		}
-		return nil
-	}
-	if *table != "" {
-		did = true
-		tbl, ok := experiments.TableByID(*table)
-		if !ok {
-			return fmt.Errorf("unknown table %q", *table)
-		}
-		if err := runOne(tbl); err != nil {
+		if err := experiments.WriteReport(f, outcomes...); err != nil {
 			return err
 		}
 	}
-	if *allTables {
-		did = true
-		for _, tbl := range experiments.Tables {
-			if err := runOne(tbl); err != nil {
-				return err
-			}
-		}
-	}
-
-	if *faultsArg != "" {
-		did = true
-		fmt.Printf("== Fault scenario: %s (all systems, DoNothing, RL=200) ==\n", *faultsArg)
-		outcomes, err := experiments.RunFaultScenario(*faultsArg, opts, os.Stdout)
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(outcomes, "", "  ")
 		if err != nil {
 			return err
 		}
-		if md != nil {
-			if err := experiments.WriteFaultReport(md, "Fault scenario — "+*faultsArg, outcomes); err != nil {
-				return err
-			}
-		}
-	}
-
-	if *workloadArg != "" {
-		did = true
-		mixes, err := contentionMixes(*workloadArg, *mixArg)
-		if err != nil {
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		skews := []string{*skewArg}
-		if *skewArg == "all" {
-			skews = []string{"partitioned", "sequential", "zipfian", "hotspot"}
-		}
-		fmt.Printf("== Contention sweep: %s x %s (RL=200) ==\n",
-			strings.Join(mixes, "+"), strings.Join(skews, "+"))
-		outcomes, err := experiments.RunContentionSweep(mixes, skews, *keysArg, opts, *system, os.Stdout)
-		if err != nil {
-			return err
-		}
-		if md != nil {
-			if err := experiments.WriteContentionReport(md, "Contention sweep", outcomes); err != nil {
-				return err
-			}
-		}
-	}
-
-	if !did {
-		flag.Usage()
-		return fmt.Errorf("nothing to do: pass -figure, -table, -tables, -faults, -workload, or -list")
 	}
 	return nil
+}
+
+// printProgress renders engine completion events as sweep progress lines.
+func printProgress(p experiments.Progress) {
+	if p.Result == nil {
+		return
+	}
+	r := p.Result
+	line := fmt.Sprintf("[%d/%d] %-44s MTPS=%8.2f MFLS=%6.2fs recv=%.0f/%.0f",
+		p.Index, p.Total, p.Cell, r.MTPS.Mean, r.MFLS.Mean, r.Received.Mean, r.Expected.Mean)
+	if r.AbortRate.Mean > 0 || r.Goodput.Mean != r.MTPS.Mean {
+		line += fmt.Sprintf(" goodput=%.2f abort=%.1f%%", r.Goodput.Mean, 100*r.AbortRate.Mean)
+	}
+	if r.Availability.N > 0 {
+		line += fmt.Sprintf(" avail=%.0f%%", 100*r.Availability.Mean)
+		if r.GoodputRecoverySec.N > 0 {
+			line += fmt.Sprintf(" goodput-recovery=%.2fs", r.GoodputRecoverySec.Mean)
+		}
+	}
+	if s := experiments.ConflictSummary(*r, 3); s != "-" {
+		line += " conflicts=" + s
+	}
+	fmt.Println(line)
+}
+
+// resolveScenarios maps the -scenario flag plus every legacy flag onto
+// scenario specs, preserving the legacy execution order (figures, tables,
+// faults, contention).
+func resolveScenarios(scenarioArg string, figure int, table string, allTables bool, faultsArg, workloadArg, mixArg, skewArg string, keys int) ([]experiments.Scenario, error) {
+	var out []experiments.Scenario
+
+	if scenarioArg != "" {
+		for _, name := range strings.Split(scenarioArg, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if strings.HasSuffix(name, ".json") {
+				data, err := os.ReadFile(name)
+				if err != nil {
+					return nil, err
+				}
+				sc, err := experiments.ParseScenario(data)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+				if sc.Name == "" {
+					sc.Name = strings.TrimSuffix(name, ".json")
+				}
+				out = append(out, sc)
+				continue
+			}
+			sc, err := experiments.ScenarioByName(name)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sc)
+		}
+	}
+
+	switch figure {
+	case 0:
+	case 3, 4, 5:
+		sc, err := experiments.ScenarioByName(fmt.Sprintf("figure%d", figure))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	default:
+		return nil, fmt.Errorf("unknown figure %d (want 3, 4, or 5)", figure)
+	}
+
+	if table != "" {
+		sc, err := experiments.ScenarioByName("table" + table)
+		if err != nil {
+			return nil, fmt.Errorf("unknown table %q", table)
+		}
+		out = append(out, sc)
+	}
+	if allTables {
+		for _, tbl := range experiments.Tables {
+			sc, err := experiments.ScenarioByName("table" + tbl.ID)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sc)
+		}
+	}
+
+	if faultsArg != "" {
+		sc, err := experiments.ScenarioByName("faults-" + faultsArg)
+		if err != nil {
+			return nil, fmt.Errorf("unknown fault preset %q (want one of %s)", faultsArg, strings.Join(faults.PresetNames(), ", "))
+		}
+		out = append(out, sc)
+	}
+
+	if workloadArg != "" {
+		mixes, err := contentionMixes(workloadArg, mixArg)
+		if err != nil {
+			return nil, err
+		}
+		skews := []string{skewArg}
+		if skewArg == "all" {
+			skews = []string{"partitioned", "sequential", "zipfian", "hotspot"}
+		}
+		out = append(out, experiments.NewContentionScenario(mixes, skews, keys))
+	} else if mixArg != "" {
+		return nil, fmt.Errorf("-mix %q needs -workload", mixArg)
+	}
+
+	return out, nil
 }
 
 // contentionMixes resolves the -workload/-mix flag pair into mix names. An
@@ -279,34 +341,37 @@ func contentionMixes(family, mix string) ([]string, error) {
 	}
 }
 
-// printList enumerates every flag value that is otherwise only
-// discoverable by reading source.
+// printList enumerates every scenario and flag value that is otherwise
+// only discoverable by reading source.
 func printList() {
-	fmt.Println("benchmarks (-figure/-table cells):")
+	fmt.Println("scenarios (-scenario, comma-separable; or a .json spec file):")
+	byName := make(map[string]experiments.Scenario)
+	for _, sc := range experiments.Registry() {
+		byName[sc.Name] = sc
+	}
+	for _, name := range experiments.ScenarioNames() {
+		fmt.Printf("  %-26s %s\n", name, byName[name].Description)
+	}
+	fmt.Println("benchmarks (scenario Benchmarks entries):")
 	for _, b := range coconut.AllBenchmarks {
 		fmt.Printf("  %s\n", b)
 	}
-	fmt.Println("tables (-table):")
-	for _, tbl := range experiments.Tables {
-		fmt.Printf("  %-6s %s\n", tbl.ID, tbl.Title)
-	}
-	fmt.Println("figures (-figure): 3 (best-MTPS grid), 4 (emulated latency), 5 (scalability)")
 	fmt.Println("arrival schedules (-arrival):")
 	fmt.Println("  uniform, poisson, burst[:N]")
-	fmt.Println("fault presets (-faults):")
+	fmt.Println("fault presets (scenario Faults.Preset / legacy -faults):")
 	for _, p := range faults.PresetNames() {
 		fmt.Printf("  %s\n", p)
 	}
-	fmt.Println("workload families (-workload): kv, smallbank, all")
-	fmt.Println("operation mixes (-mix):")
+	fmt.Println("workload families (legacy -workload): kv, smallbank, all")
+	fmt.Println("operation mixes (scenario Workload.Mixes / legacy -mix):")
 	for _, m := range workload.MixNames() {
 		fmt.Printf("  %s\n", m)
 	}
-	fmt.Println("key distributions (-skew):")
+	fmt.Println("key distributions (scenario Workload.Skews / legacy -skew):")
 	for _, d := range workload.DistNames() {
 		fmt.Printf("  %s\n", d)
 	}
-	fmt.Println("systems (-system):")
+	fmt.Println("systems (-system / scenario Systems entries):")
 	for _, s := range experiments.AllSystems {
 		fmt.Printf("  %s\n", s)
 	}

@@ -18,10 +18,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
+	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/experiments"
 	"github.com/coconut-bench/coconut/internal/faults"
 )
@@ -43,12 +44,40 @@ func run() error {
 	}
 	fmt.Println()
 
+	// The chaos preset is a registered scenario: all seven systems run
+	// DoNothing at RL=200 under the schedule, and the engine streams one
+	// progress line per system.
+	sc, err := experiments.ScenarioByName("faults-" + faults.PresetPartitionHeal)
+	if err != nil {
+		return err
+	}
 	// 120 paper-seconds of load at the default 1/100 scale: each system
 	// runs 1.2s of simulated time plus its real-time processing costs.
-	_, err = experiments.RunFaultScenario(faults.PresetPartitionHeal, experiments.Options{
+	outcome, err := experiments.Run(context.Background(), sc, experiments.Options{
 		SendSeconds: 120,
 		Repetitions: 1,
 		Seed:        42,
-	}, os.Stdout)
-	return err
+		Progress: func(p experiments.Progress) {
+			if p.Result == nil {
+				return
+			}
+			r := p.Result
+			fmt.Printf("%-18s MTPS=%8.2f avail=%3.0f%% recovery=%s goodput-recovery=%s recv=%.0f/%.0f\n",
+				p.System, r.MTPS.Mean, 100*r.Availability.Mean,
+				recovery(r.RecoverySec), recovery(r.GoodputRecoverySec),
+				r.Received.Mean, r.Expected.Mean)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\n%d systems measured under %s\n", len(outcome.Rows), sc.Faults.Label())
+	return nil
+}
+
+func recovery(s coconut.Stats) string {
+	if s.N == 0 {
+		return "∞"
+	}
+	return fmt.Sprintf("%.2fs", s.Mean)
 }

@@ -27,9 +27,9 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"os"
 
 	"github.com/coconut-bench/coconut/internal/experiments"
 )
@@ -45,26 +45,40 @@ func run() error {
 		SendSeconds: 90,
 		Repetitions: 1,
 		Seed:        42,
+		Progress: func(p experiments.Progress) {
+			if p.Result == nil {
+				return
+			}
+			r := p.Result
+			fmt.Printf("%-44s MTPS=%8.2f goodput=%8.2f abort=%5.1f%%  %s\n",
+				p.Cell, r.MTPS.Mean, r.Goodput.Mean, 100*r.AbortRate.Mean,
+				experiments.ConflictSummary(*r, 3))
+		},
+	}
+	sweep := func(sc experiments.Scenario) error {
+		_, err := experiments.Run(context.Background(), sc, opts)
+		return err
 	}
 
 	fmt.Println("SmallBank over a shared account pool, Zipfian-skewed (hot accounts):")
-	if _, err := experiments.RunContentionSweep(
-		[]string{"smallbank"}, []string{"zipfian"}, 0, opts, "", os.Stdout); err != nil {
+	if err := sweep(experiments.NewContentionScenario(
+		[]string{"smallbank"}, []string{"zipfian"}, 0)); err != nil {
 		return err
 	}
 
 	fmt.Println()
 	fmt.Println("YCSB-A (50/50 read-write) over a shared key space, hotspot-skewed:")
-	if _, err := experiments.RunContentionSweep(
-		[]string{"ycsb-a"}, []string{"hotspot"}, 0, opts, "", os.Stdout); err != nil {
+	if err := sweep(experiments.NewContentionScenario(
+		[]string{"ycsb-a"}, []string{"hotspot"}, 0)); err != nil {
 		return err
 	}
 
 	fmt.Println()
 	fmt.Println("Control: the same SmallBank family with the paper's partitioned scheme")
 	fmt.Println("(disjoint per-thread account slices) stays conflict-free:")
-	if _, err := experiments.RunContentionSweep(
-		[]string{"smallbank"}, []string{"partitioned"}, 0, opts, "Fabric", os.Stdout); err != nil {
+	control := experiments.NewContentionScenario([]string{"smallbank"}, []string{"partitioned"}, 0)
+	control.Systems = []string{"Fabric"}
+	if err := sweep(control); err != nil {
 		return err
 	}
 

@@ -223,7 +223,7 @@ func (c *Client) onEvent(ev systems.Event) {
 	// The timeline update happens outside the shard lock: it is shared by
 	// every client and must not extend the per-shard critical section.
 	if c.cfg.Timeline != nil {
-		c.cfg.Timeline.RecordRecv(now, ops, fls)
+		c.cfg.Timeline.RecordRecv(now, ops, fls, ev.ValidOK)
 	}
 }
 

@@ -182,6 +182,10 @@ type RepetitionResult struct {
 	// returned to steady state after the run's last heal event.
 	Recovered   bool
 	RecoverySec float64
+	// GoodputRecovered and GoodputRecoverySec apply the same recovery rule
+	// to valid-committed (goodput) counts; see FaultMetrics.
+	GoodputRecovered   bool
+	GoodputRecoverySec float64
 	// Windows is the windowed throughput/latency timeline (nil when not
 	// collected).
 	Windows []WindowStat
@@ -412,13 +416,16 @@ type Result struct {
 	// repetitions (RecoverySec over recovered repetitions only).
 	Availability Stats
 	RecoverySec  Stats
+	// GoodputRecoverySec summarises post-heal goodput recovery time over
+	// the repetitions whose goodput recovered.
+	GoodputRecoverySec Stats
 
 	Repetitions []RepetitionResult
 }
 
 // Aggregate folds repetition results into a Result.
 func Aggregate(system, benchmark string, params map[string]string, reps []RepetitionResult) Result {
-	var tps, fls, dur, recv, exp, valid, good, abort, p50, p95, p99, avail, recov []float64
+	var tps, fls, dur, recv, exp, valid, good, abort, p50, p95, p99, avail, recov, goodRecov []float64
 	codes := make(map[string]bool)
 	for _, r := range reps {
 		tps = append(tps, r.TPS)
@@ -439,6 +446,9 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 			avail = append(avail, r.Availability)
 			if r.Recovered {
 				recov = append(recov, r.RecoverySec)
+			}
+			if r.GoodputRecovered {
+				goodRecov = append(goodRecov, r.GoodputRecoverySec)
 			}
 		}
 	}
@@ -469,9 +479,10 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		MFLSP50:      Summarize(p50),
 		MFLSP95:      Summarize(p95),
 		MFLSP99:      Summarize(p99),
-		Availability: Summarize(avail),
-		RecoverySec:  Summarize(recov),
-		Repetitions:  reps,
+		Availability:       Summarize(avail),
+		RecoverySec:        Summarize(recov),
+		GoodputRecoverySec: Summarize(goodRecov),
+		Repetitions:        reps,
 	}
 }
 

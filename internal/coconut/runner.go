@@ -315,6 +315,8 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		rr.Availability = fm.Availability
 		rr.Recovered = fm.Recovered
 		rr.RecoverySec = fm.RecoverySec
+		rr.GoodputRecovered = fm.GoodputRecovered
+		rr.GoodputRecoverySec = fm.GoodputRecoverySec
 		rr.Windows = fm.Windows
 	}
 	return rr, written

@@ -17,6 +17,7 @@ type Timeline struct {
 	window time.Duration
 	sent   []atomic.Int64
 	recv   []atomic.Int64
+	valid  []atomic.Int64
 	latNs  []atomic.Int64
 }
 
@@ -36,6 +37,7 @@ func NewTimeline(start time.Time, window, horizon time.Duration) *Timeline {
 		window: window,
 		sent:   make([]atomic.Int64, n),
 		recv:   make([]atomic.Int64, n),
+		valid:  make([]atomic.Int64, n),
 		latNs:  make([]atomic.Int64, n),
 	}
 }
@@ -60,11 +62,17 @@ func (t *Timeline) RecordSend(at time.Time, ops int) {
 }
 
 // RecordRecv streams one confirmation of ops payloads with its end-to-end
-// finalization latency. Latency is weighted by ops so MeanFLS stays a
-// per-payload mean when transactions carry several operations.
-func (t *Timeline) RecordRecv(at time.Time, ops int, fls time.Duration) {
+// finalization latency and validation verdict. Latency is weighted by ops
+// so MeanFLS stays a per-payload mean when transactions carry several
+// operations; valid payloads additionally count toward the window's
+// goodput, so a faulted contention run yields a goodput timeline, not just
+// a raw-confirmation one.
+func (t *Timeline) RecordRecv(at time.Time, ops int, fls time.Duration, valid bool) {
 	i := t.idx(at)
 	t.recv[i].Add(int64(ops))
+	if valid {
+		t.valid[i].Add(int64(ops))
+	}
 	t.latNs[i].Add(int64(fls) * int64(ops))
 }
 
@@ -76,9 +84,21 @@ type WindowStat struct {
 	// bucket (confirmations bucket by arrival time).
 	Sent     int
 	Received int
+	// Valid counts the bucket's confirmations that committed valid — the
+	// window's goodput contribution. Valid <= Received.
+	Valid int
 	// MeanFLS is the mean finalization latency of the bucket's
 	// confirmations, in seconds (0 when none arrived).
 	MeanFLS float64
+}
+
+// AbortRate is the fraction of the window's confirmations that committed
+// invalid: (Received - Valid) / Received, 0 for an empty window.
+func (w WindowStat) AbortRate() float64 {
+	if w.Received == 0 {
+		return 0
+	}
+	return float64(w.Received-w.Valid) / float64(w.Received)
 }
 
 // Snapshot renders the timeline, trimmed of trailing buckets with no
@@ -97,6 +117,7 @@ func (t *Timeline) Snapshot() []WindowStat {
 			Start:    time.Duration(i) * t.window,
 			Sent:     int(t.sent[i].Load()),
 			Received: int(recv),
+			Valid:    int(t.valid[i].Load()),
 		}
 		if recv > 0 {
 			ws.MeanFLS = (time.Duration(t.latNs[i].Load() / recv)).Seconds()
@@ -128,6 +149,14 @@ type FaultMetrics struct {
 	// window whose confirmations reached that threshold (0 when the run
 	// had no faults; meaningless when Recovered is false).
 	RecoverySec float64
+	// GoodputRecovered and GoodputRecoverySec are the same recovery rule
+	// applied to valid-committed counts: how long after the last heal it
+	// took goodput — not just raw confirmations — to regain half its
+	// pre-fault steady state. Under contention a system can recover raw
+	// throughput quickly while replayed conflicts keep goodput depressed,
+	// so the two recovery times diverge.
+	GoodputRecovered   bool
+	GoodputRecoverySec float64
 	// Windows is the full timeline.
 	Windows []WindowStat
 }
@@ -137,43 +166,47 @@ type FaultMetrics struct {
 // event and of the last recovering event; pass ok=false for a no-fault
 // run, which reports RecoverySec 0 and Recovered true.
 func ComputeFaultMetrics(t *Timeline, faultAt, healAt time.Duration, ok bool) FaultMetrics {
-	fm := FaultMetrics{Windows: t.Snapshot(), Recovered: true}
+	fm := FaultMetrics{Windows: t.Snapshot(), Recovered: true, GoodputRecovered: true}
 	fm.Availability = availability(fm.Windows)
 	if !ok {
 		return fm
 	}
+	fm.Recovered, fm.RecoverySec = recoveryTime(fm.Windows, t.window, faultAt, healAt,
+		func(w WindowStat) int { return w.Received })
+	fm.GoodputRecovered, fm.GoodputRecoverySec = recoveryTime(fm.Windows, t.window, faultAt, healAt,
+		func(w WindowStat) int { return w.Valid })
+	return fm
+}
 
-	// Steady-state baseline: the median confirmation count over the
-	// pre-fault windows of the confirmation span.
-	first, last := span(fm.Windows)
+// recoveryTime applies the recovery rule to one counter: the steady-state
+// baseline is the median of the counter over the pre-fault windows of the
+// confirmation span, and recovery is the first window past the heal whose
+// counter regains half that baseline.
+func recoveryTime(ws []WindowStat, window time.Duration, faultAt, healAt time.Duration, count func(WindowStat) int) (bool, float64) {
+	first, last := span(ws)
 	if first < 0 {
-		fm.Recovered = false
-		return fm
+		return false, 0
 	}
 	var pre []int
 	for i := first; i <= last; i++ {
-		if fm.Windows[i].Start+t.window <= faultAt {
-			pre = append(pre, fm.Windows[i].Received)
+		if ws[i].Start+window <= faultAt {
+			pre = append(pre, count(ws[i]))
 		}
 	}
 	threshold := medianInt(pre) / 2
 	if threshold < 1 {
 		threshold = 1
 	}
-
-	fm.Recovered = false
-	for i := range fm.Windows {
-		end := fm.Windows[i].Start + t.window
+	for i := range ws {
+		end := ws[i].Start + window
 		if end <= healAt {
 			continue
 		}
-		if fm.Windows[i].Received >= threshold {
-			fm.Recovered = true
-			fm.RecoverySec = (end - healAt).Seconds()
-			break
+		if count(ws[i]) >= threshold {
+			return true, (end - healAt).Seconds()
 		}
 	}
-	return fm
+	return false, 0
 }
 
 // span returns the first and last window indices with confirmations, or

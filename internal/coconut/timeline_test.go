@@ -11,11 +11,11 @@ func TestTimelineBucketsSendsAndRecvs(t *testing.T) {
 
 	tl.RecordSend(base, 2)
 	tl.RecordSend(base.Add(150*time.Millisecond), 1)
-	tl.RecordRecv(base.Add(160*time.Millisecond), 1, 10*time.Millisecond)
-	tl.RecordRecv(base.Add(180*time.Millisecond), 1, 30*time.Millisecond)
+	tl.RecordRecv(base.Add(160*time.Millisecond), 1, 10*time.Millisecond, true)
+	tl.RecordRecv(base.Add(180*time.Millisecond), 1, 30*time.Millisecond, false)
 	// Out-of-range observations clamp instead of panicking.
-	tl.RecordRecv(base.Add(-time.Second), 1, time.Millisecond)
-	tl.RecordRecv(base.Add(time.Hour), 1, time.Millisecond)
+	tl.RecordRecv(base.Add(-time.Second), 1, time.Millisecond, true)
+	tl.RecordRecv(base.Add(time.Hour), 1, time.Millisecond, true)
 
 	ws := tl.Snapshot()
 	if len(ws) != 11 { // clamped far-future recv lands in the last bucket
@@ -30,29 +30,49 @@ func TestTimelineBucketsSendsAndRecvs(t *testing.T) {
 	if got, want := ws[1].MeanFLS, 0.020; got < want-1e-9 || got > want+1e-9 {
 		t.Fatalf("window 1 mean FLS = %v, want %v", got, want)
 	}
+	// One of window 1's two confirmations committed invalid.
+	if ws[1].Valid != 1 {
+		t.Fatalf("window 1 valid = %d, want 1", ws[1].Valid)
+	}
+	if got, want := ws[1].AbortRate(), 0.5; got != want {
+		t.Fatalf("window 1 abort rate = %v, want %v", got, want)
+	}
+	if (WindowStat{}).AbortRate() != 0 {
+		t.Fatal("empty window must report zero abort rate")
+	}
 }
 
 func TestTimelineMeanFLSIsPerPayload(t *testing.T) {
 	base := time.Unix(0, 0)
 	tl := NewTimeline(base, 100*time.Millisecond, time.Second)
 	// One 5-op transaction at 2s latency: the per-payload mean is still 2s.
-	tl.RecordRecv(base, 5, 2*time.Second)
+	tl.RecordRecv(base, 5, 2*time.Second, true)
 	ws := tl.Snapshot()
 	if got := ws[0].MeanFLS; got != 2.0 {
 		t.Fatalf("MeanFLS = %v, want 2 (per-payload, not latency/ops)", got)
 	}
 }
 
-// synthetic builds a timeline from per-window received counts.
+// synthetic builds a timeline from per-window received counts; every
+// confirmation commits valid.
 func synthetic(recv []int) *Timeline {
+	return syntheticValid(recv, recv)
+}
+
+// syntheticValid builds a timeline with separate received and
+// valid-committed counts per window (valid[i] <= recv[i]).
+func syntheticValid(recv, valid []int) *Timeline {
 	base := time.Unix(0, 0)
 	w := 100 * time.Millisecond
 	tl := NewTimeline(base, w, time.Duration(len(recv))*w)
 	for i, r := range recv {
 		at := base.Add(time.Duration(i)*w + w/2)
 		tl.RecordSend(at, 1)
-		if r > 0 {
-			tl.RecordRecv(at, r, time.Millisecond)
+		if v := valid[i]; v > 0 {
+			tl.RecordRecv(at, v, time.Millisecond, true)
+		}
+		if r > valid[i] {
+			tl.RecordRecv(at, r-valid[i], time.Millisecond, false)
 		}
 	}
 	return tl
@@ -98,6 +118,38 @@ func TestRecoveryAfterHeal(t *testing.T) {
 	}
 	if got, want := fm.RecoverySec, 0.2; got < want-1e-9 || got > want+1e-9 {
 		t.Fatalf("recovery = %vs, want %vs", got, want)
+	}
+}
+
+func TestGoodputRecoveryLagsRawRecovery(t *testing.T) {
+	// Raw confirmations return in the window right after the heal, but the
+	// first post-heal windows commit only replayed conflicts (valid = 0):
+	// goodput recovery must lag raw recovery by the conflict-drain time.
+	recv := []int{6, 6, 6, 0, 0, 0, 6, 6, 6, 6}
+	valid := []int{6, 6, 6, 0, 0, 0, 0, 0, 6, 6}
+	fm := ComputeFaultMetrics(syntheticValid(recv, valid), 300*time.Millisecond, 600*time.Millisecond, true)
+	if !fm.Recovered || !fm.GoodputRecovered {
+		t.Fatalf("recovered = %v, goodput recovered = %v, want both", fm.Recovered, fm.GoodputRecovered)
+	}
+	if got, want := fm.RecoverySec, 0.1; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("raw recovery = %vs, want %vs", got, want)
+	}
+	if got, want := fm.GoodputRecoverySec, 0.3; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("goodput recovery = %vs, want %vs", got, want)
+	}
+}
+
+func TestGoodputRecoveryNeverReached(t *testing.T) {
+	// Raw throughput recovers but every post-heal commit is invalid: the
+	// run must not report goodput recovery.
+	recv := []int{6, 6, 6, 0, 0, 0, 6, 6, 6, 6}
+	valid := []int{6, 6, 6, 0, 0, 0, 0, 0, 0, 0}
+	fm := ComputeFaultMetrics(syntheticValid(recv, valid), 300*time.Millisecond, 600*time.Millisecond, true)
+	if !fm.Recovered {
+		t.Fatal("raw throughput did recover")
+	}
+	if fm.GoodputRecovered {
+		t.Fatalf("goodput never recovered but reported %vs", fm.GoodputRecoverySec)
 	}
 }
 

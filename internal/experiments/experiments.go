@@ -58,6 +58,10 @@ type Options struct {
 	Arrival string
 	// Seed drives deterministic randomness.
 	Seed int64
+	// Progress, when set, streams one event per scenario cell start and
+	// completion from the engine (Run). It replaces the io.Writer
+	// side-channels the pre-scenario runners threaded through every call.
+	Progress func(Progress) `json:"-"`
 }
 
 // arrivalSchedule resolves the named schedule; an unknown name is an error
@@ -126,13 +130,13 @@ func (o Options) latency() network.LatencyModel {
 // block_publishing_delay seconds), Actions (operations per transaction or
 // transactions per batch).
 type Params struct {
-	RL      int
-	MM      int
-	BS      int
-	BI      int
-	BP      int
-	PD      int
-	Actions int
+	RL      int `json:"rl,omitempty"`
+	MM      int `json:"mm,omitempty"`
+	BS      int `json:"bs,omitempty"`
+	BI      int `json:"bi,omitempty"`
+	BP      int `json:"bp,omitempty"`
+	PD      int `json:"pd,omitempty"`
+	Actions int `json:"actions,omitempty"`
 }
 
 // Labels renders the parameter set for result rows.
@@ -353,71 +357,12 @@ func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, e
 }
 
 // RunCell executes one benchmark cell (one system, one benchmark unit
-// member) and returns the aggregated result for the requested member.
+// member) and returns the aggregated result for the requested member. It
+// is a healthy-grid convenience over the scenario engine's cell executor;
+// use Run with a Scenario to compose faults, workloads, and sweeps.
 func RunCell(system string, bench coconut.BenchmarkName, p Params, o Options) (coconut.Result, error) {
-	o.fill()
-	newDriver, err := NewDriverFunc(system, p, o)
-	if err != nil {
-		return coconut.Result{}, err
-	}
-
-	// Locate the unit containing the benchmark; the whole unit runs so
-	// read benchmarks see their write phase (§4.1).
-	var unit []coconut.BenchmarkName
-	for _, u := range coconut.BenchmarkUnits {
-		for _, b := range u {
-			if b == bench {
-				unit = u
-			}
-		}
-	}
-	if unit == nil {
-		return coconut.Result{}, fmt.Errorf("experiments: unknown benchmark %q", bench)
-	}
-
-	perClientRL := p.RL / 4
-	if perClientRL < 1 {
-		perClientRL = 1
-	}
-	opsPerTx, batchSize := 1, 1
-	switch system {
-	case systems.NameBitShares:
-		if p.Actions > 1 {
-			opsPerTx = p.Actions
-		}
-	case systems.NameSawtooth:
-		if p.Actions > 1 {
-			batchSize = p.Actions
-		}
-	}
-
-	arrival, err := o.arrivalSchedule()
-	if err != nil {
-		return coconut.Result{}, err
-	}
-	results, err := coconut.Run(coconut.RunConfig{
-		SystemName:      system,
-		NewDriver:       newDriver,
-		Unit:            unit,
-		Clients:         4,
-		RateLimit:       perClientRL,
-		Arrival:         arrival,
-		ArrivalSeed:     o.Seed,
-		WorkloadThreads: 8,
-		OpsPerTx:        opsPerTx,
-		BatchSize:       batchSize,
-		SendDuration:    o.paperDur(o.SendSeconds),
-		ListenGrace:     o.paperDur(o.GraceSeconds),
-		Repetitions:     o.Repetitions,
-		Params:          p.Labels(),
-	})
-	if err != nil {
-		return coconut.Result{}, err
-	}
-	for _, r := range results {
-		if r.Benchmark == string(bench) {
-			return r, nil
-		}
-	}
-	return coconut.Result{}, fmt.Errorf("experiments: benchmark %q missing from unit results", bench)
+	return runUnitCell(system, bench, p, o, benchGridThreads, nil, "")
 }
+
+// benchGridThreads is the paper grid's workload-thread count per client.
+const benchGridThreads = 8

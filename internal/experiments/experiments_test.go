@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -142,39 +143,48 @@ func TestScaleCountFloorsAtOne(t *testing.T) {
 }
 
 func TestRunFigure3SingleSystem(t *testing.T) {
-	outcomes, err := RunFigure3(fastOptions(), systems.NameQuorum, nil)
+	sc, err := ScenarioByName("figure3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(outcomes) != 6 {
-		t.Fatalf("outcomes = %d, want 6 (one per benchmark)", len(outcomes))
+	sc.Systems = []string{systems.NameQuorum}
+	outcome, err := Run(context.Background(), sc, fastOptions())
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, oc := range outcomes {
-		if oc.Cell.System != systems.NameQuorum {
-			t.Fatalf("outcome for %s leaked into restricted run", oc.Cell.System)
+	if len(outcome.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 (one per benchmark)", len(outcome.Rows))
+	}
+	for _, row := range outcome.Rows {
+		if row.System != systems.NameQuorum {
+			t.Fatalf("row for %s leaked into restricted run", row.System)
+		}
+		if row.Paper == nil {
+			t.Fatalf("figure3 row %s lacks a paper reference", row.Benchmark)
 		}
 	}
 }
 
 func TestRunTableQuorum(t *testing.T) {
-	tbl, ok := TableByID("15+16")
-	if !ok {
-		t.Fatal("table 15+16 missing")
-	}
-	outcomes, err := RunTable(tbl, fastOptions(), nil)
+	sc, err := ScenarioByName("table15+16")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(outcomes) != len(tbl.Rows) {
-		t.Fatalf("outcomes = %d, want %d", len(outcomes), len(tbl.Rows))
+	outcome, err := Run(context.Background(), sc, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, _ := TableByID("15+16")
+	if len(outcome.Rows) != len(tbl.Rows) {
+		t.Fatalf("rows = %d, want %d", len(outcome.Rows), len(tbl.Rows))
 	}
 	// Row 0 is the liveness-violation cell: zero MTPS in paper and here.
-	if outcomes[0].Measured.MTPS.Mean > 1 {
-		t.Fatalf("livelock row measured %.2f MTPS, want ~0", outcomes[0].Measured.MTPS.Mean)
+	if outcome.Rows[0].Result.MTPS.Mean > 1 {
+		t.Fatalf("livelock row measured %.2f MTPS, want ~0", outcome.Rows[0].Result.MTPS.Mean)
 	}
 	// Row 1 is the healthy BP=5s cell.
-	if outcomes[1].Measured.MTPS.Mean <= 1 {
-		t.Fatalf("healthy row measured %.2f MTPS, want > 1", outcomes[1].Measured.MTPS.Mean)
+	if outcome.Rows[1].Result.MTPS.Mean <= 1 {
+		t.Fatalf("healthy row measured %.2f MTPS, want > 1", outcome.Rows[1].Result.MTPS.Mean)
 	}
 }
 

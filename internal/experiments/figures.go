@@ -1,10 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"io"
-	"sort"
-
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/systems"
 )
@@ -152,145 +148,4 @@ func BestCell(system string, bench coconut.BenchmarkName) (PaperCell, bool) {
 		}
 	}
 	return PaperCell{}, false
-}
-
-// CellOutcome pairs a paper cell with the measured reproduction.
-type CellOutcome struct {
-	Cell     PaperCell
-	Measured coconut.Result
-	// MeasuredMTPS is the measured mean (0 for failed cells).
-	MeasuredMTPS float64
-	// PaperMTPS echoes the reference value.
-	PaperMTPS float64
-}
-
-// RunFigure3 reproduces the full heat map, optionally restricted to one
-// system ("" = all). Progress rows stream to w when non-nil.
-func RunFigure3(o Options, onlySystem string, w io.Writer) ([]CellOutcome, error) {
-	o.fill()
-	var out []CellOutcome
-	for _, cell := range Figure3 {
-		if onlySystem != "" && cell.System != onlySystem {
-			continue
-		}
-		res, err := RunCell(cell.System, cell.Benchmark, cell.Params, o)
-		if err != nil {
-			return nil, fmt.Errorf("cell %s/%s: %w", cell.System, cell.Benchmark, err)
-		}
-		oc := CellOutcome{
-			Cell:         cell,
-			Measured:     res,
-			MeasuredMTPS: res.MTPS.Mean,
-			PaperMTPS:    cell.MTPS,
-		}
-		out = append(out, oc)
-		if w != nil {
-			fmt.Fprintf(w, "%-18s %-26s paper=%8.2f measured=%8.2f MTPS  (MFLS %.1fs paper-time)\n",
-				cell.System, cell.Benchmark, cell.MTPS, res.MTPS.Mean, o.PaperSeconds(res.MFLS.Mean))
-		}
-	}
-	return out, nil
-}
-
-// RunFigure4 reproduces the latency-impact heat map: the same best
-// configurations under scaled netem latency.
-func RunFigure4(o Options, onlySystem string, w io.Writer) ([]CellOutcome, error) {
-	o.Netem = true
-	o.fill()
-	var out []CellOutcome
-	for _, cell := range Figure3 {
-		if onlySystem != "" && cell.System != onlySystem {
-			continue
-		}
-		res, err := RunCell(cell.System, cell.Benchmark, cell.Params, o)
-		if err != nil {
-			return nil, fmt.Errorf("cell %s/%s: %w", cell.System, cell.Benchmark, err)
-		}
-		paperMTPS := Figure4MTPS[cell.System][cell.Benchmark]
-		out = append(out, CellOutcome{
-			Cell:         cell,
-			Measured:     res,
-			MeasuredMTPS: res.MTPS.Mean,
-			PaperMTPS:    paperMTPS,
-		})
-		if w != nil {
-			fmt.Fprintf(w, "%-18s %-26s paper=%8.2f measured=%8.2f MTPS (netem)\n",
-				cell.System, cell.Benchmark, paperMTPS, res.MTPS.Mean)
-		}
-	}
-	return out, nil
-}
-
-// ScalePoint is one (system, nodes) measurement of the scalability sweep.
-type ScalePoint struct {
-	System      string
-	Nodes       int
-	MTPS        float64
-	PaperFailed bool
-}
-
-// RunFigure5 reproduces the scalability analysis: the DoNothing benchmark
-// at 4, 8, 16, and 32 nodes per system (§5.8.2). The paper uses "the same
-// settings as in Section 5.8.1", i.e. the emulated latency stays on.
-func RunFigure5(o Options, onlySystem string, w io.Writer) ([]ScalePoint, error) {
-	o.Netem = true
-	o.fill()
-	var out []ScalePoint
-	for _, system := range AllSystems {
-		if onlySystem != "" && system != onlySystem {
-			continue
-		}
-		cell, ok := BestCell(system, coconut.BenchDoNothing)
-		if !ok {
-			continue
-		}
-		for _, nodes := range Figure5Nodes {
-			opts := o
-			opts.Nodes = nodes
-			res, err := RunCell(system, coconut.BenchDoNothing, cell.Params, opts)
-			if err != nil {
-				return nil, fmt.Errorf("%s at %d nodes: %w", system, nodes, err)
-			}
-			failed := false
-			for _, n := range Figure5Failed[system] {
-				if n == nodes {
-					failed = true
-				}
-			}
-			out = append(out, ScalePoint{
-				System:      system,
-				Nodes:       nodes,
-				MTPS:        res.MTPS.Mean,
-				PaperFailed: failed,
-			})
-			if w != nil {
-				status := ""
-				if failed {
-					status = " (paper: failed)"
-				}
-				fmt.Fprintf(w, "%-18s nodes=%-3d measured=%8.2f MTPS%s\n", system, nodes, res.MTPS.Mean, status)
-			}
-		}
-	}
-	return out, nil
-}
-
-// SortOutcomes orders outcomes by system column then benchmark row, in
-// paper order, for stable reports.
-func SortOutcomes(out []CellOutcome) {
-	sysIdx := make(map[string]int, len(AllSystems))
-	for i, s := range AllSystems {
-		sysIdx[s] = i
-	}
-	benchIdx := make(map[coconut.BenchmarkName]int, len(coconut.AllBenchmarks))
-	for i, b := range coconut.AllBenchmarks {
-		benchIdx[b] = i
-	}
-	sort.Slice(out, func(i, j int) bool {
-		si, sj := sysIdx[out[i].Cell.System], sysIdx[out[j].Cell.System]
-		if si != sj {
-			return si < sj
-		}
-		return benchIdx[out[i].Cell.Benchmark] < benchIdx[out[j].Cell.Benchmark]
-	})
 }

@@ -2,118 +2,256 @@ package experiments
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"github.com/coconut-bench/coconut/internal/coconut"
+	"github.com/coconut-bench/coconut/internal/faults"
 )
 
-func fakeOutcome(system string, bench coconut.BenchmarkName, paper, measured float64) CellOutcome {
-	return CellOutcome{
-		Cell:         PaperCell{System: system, Benchmark: bench, MTPS: paper},
-		MeasuredMTPS: measured,
-		PaperMTPS:    paper,
+// fakeResult fabricates an aggregated result from one synthetic
+// repetition, so report rendering is testable without running systems.
+func fakeResult(rep coconut.RepetitionResult) coconut.Result {
+	return coconut.Aggregate("", "", nil, []coconut.RepetitionResult{rep})
+}
+
+func fakeRow(system, bench string, paper *PaperRefValues, rep coconut.RepetitionResult) OutcomeRow {
+	return OutcomeRow{
+		System:    system,
+		Benchmark: bench,
+		Nodes:     4,
+		Paper:     paper,
+		Result:    fakeResult(rep),
 	}
 }
 
-// fullGrid fabricates a measured grid that matches the paper's shapes.
-func fullGrid() []CellOutcome {
-	var out []CellOutcome
+// fakeGridRows fabricates a measured Figure 3 grid matching the paper's
+// shapes: measured = paper with a +5% wobble, zeros stay zero.
+func fakeGridRows() []OutcomeRow {
+	var rows []OutcomeRow
 	for _, cell := range Figure3 {
-		// Measured = paper with a +5% wobble; zeros stay zero.
-		out = append(out, fakeOutcome(cell.System, cell.Benchmark, cell.MTPS, cell.MTPS*1.05))
+		rows = append(rows, fakeRow(cell.System, string(cell.Benchmark),
+			&PaperRefValues{MTPS: cell.MTPS, MFLS: cell.MFLS},
+			coconut.RepetitionResult{TPS: cell.MTPS * 1.05}))
 	}
-	return out
+	return rows
 }
 
-func TestWriteFigureReport(t *testing.T) {
-	var sb strings.Builder
-	outcomes := []CellOutcome{
-		fakeOutcome("Fabric", coconut.BenchDoNothing, 1461.05, 1550.0),
-		fakeOutcome("Corda OS", coconut.BenchKeyValueGet, 0, 0),
+// TestWriteReportGolden pins the combined EXPERIMENTS.md rendering: one
+// document, stable section ordering, paper-delta columns on figure and
+// table sections, fault and contention columns only when those axes are
+// active.
+func TestWriteReportGolden(t *testing.T) {
+	figure := &Outcome{
+		Scenario: Scenario{Name: "figure3", Description: "Figure 3 excerpt", PaperRef: "figure3"},
+		Rows: []OutcomeRow{
+			fakeRow("Fabric", "DoNothing", &PaperRefValues{MTPS: 1461.05},
+				coconut.RepetitionResult{TPS: 1550, ReceivedNoT: 465000, ExpectedNoT: 480000}),
+			fakeRow("Corda OS", "KeyValue-Get", &PaperRefValues{MTPS: 0},
+				coconut.RepetitionResult{}),
+		},
 	}
-	if err := WriteFigureReport(&sb, "Figure 3", outcomes); err != nil {
-		t.Fatal(err)
-	}
-	got := sb.String()
-	if !strings.Contains(got, "### Figure 3") {
-		t.Fatal("missing title")
-	}
-	if !strings.Contains(got, "1461.05") || !strings.Contains(got, "1550.00") {
-		t.Fatalf("missing values:\n%s", got)
-	}
-	if !strings.Contains(got, "both fail") {
-		t.Fatalf("zero-zero cells must render as 'both fail':\n%s", got)
-	}
-	if !strings.Contains(got, "1.06x") {
-		t.Fatalf("missing ratio:\n%s", got)
-	}
-}
 
-func TestWriteScaleReport(t *testing.T) {
-	var sb strings.Builder
-	points := []ScalePoint{
-		{System: "Fabric", Nodes: 4, MTPS: 1500},
-		{System: "Fabric", Nodes: 8, MTPS: 1490},
-		{System: "Fabric", Nodes: 16, MTPS: 0, PaperFailed: true},
-		{System: "Fabric", Nodes: 32, MTPS: 0, PaperFailed: true},
+	scale := &Outcome{
+		Scenario: Scenario{Name: "figure5", Description: "scalability excerpt", PaperRef: "figure5"},
+		Rows: []OutcomeRow{
+			{System: "Fabric", Benchmark: "DoNothing", Nodes: 4, Paper: &PaperRefValues{},
+				Result: fakeResult(coconut.RepetitionResult{TPS: 1500})},
+			{System: "Fabric", Benchmark: "DoNothing", Nodes: 16, Paper: &PaperRefValues{Failed: true},
+				Result: fakeResult(coconut.RepetitionResult{})},
+		},
 	}
-	if err := WriteScaleReport(&sb, "Figure 5", points); err != nil {
-		t.Fatal(err)
-	}
-	got := sb.String()
-	if !strings.Contains(got, "failed ✓") {
-		t.Fatalf("matching failures must render with a check:\n%s", got)
-	}
-	if !strings.Contains(got, "1500.0") {
-		t.Fatalf("missing MTPS:\n%s", got)
-	}
-}
 
-func TestWriteTableReport(t *testing.T) {
 	tbl, _ := TableByID("13+14")
+	table := &Outcome{
+		Scenario: Scenario{Name: "table13+14", Description: tbl.Title, PaperRef: "table:13+14"},
+		Rows: []OutcomeRow{
+			{System: tbl.System, Benchmark: string(tbl.Benchmark), Nodes: 4,
+				Params: tbl.Rows[0].Params,
+				Paper: &PaperRefValues{MTPS: tbl.Rows[0].PaperMTPS, MFLS: tbl.Rows[0].PaperMFLS,
+					Received: tbl.Rows[0].PaperReceived, Expected: tbl.Rows[0].PaperExpected},
+				Result: fakeResult(coconut.RepetitionResult{TPS: 810, ReceivedNoT: 240100, ExpectedNoT: 240000})},
+		},
+	}
+
+	fault := &Outcome{
+		Scenario: Scenario{Name: "faults-partition-heal", Description: "chaos excerpt",
+			Faults: &FaultSpec{Preset: faults.PresetPartitionHeal}},
+		Rows: []OutcomeRow{
+			{System: "Fabric", Benchmark: "DoNothing", Nodes: 4, Faults: "partition-heal",
+				Result: fakeResult(coconut.RepetitionResult{
+					TPS: 120, FLS: 0.8, ReceivedNoT: 3000, ExpectedNoT: 3600,
+					Availability: 0.7, Recovered: true, RecoverySec: 0.4,
+					GoodputRecovered: true, GoodputRecoverySec: 0.9,
+					Windows:          []coconut.WindowStat{{}},
+				})},
+			{System: "Corda OS", Benchmark: "DoNothing", Nodes: 4, Faults: "partition-heal",
+				Result: fakeResult(coconut.RepetitionResult{
+					TPS: 3, FLS: 2.5, ReceivedNoT: 60, ExpectedNoT: 240,
+					Availability: 0.4,
+					Windows:      []coconut.WindowStat{{}},
+				})},
+		},
+	}
+
+	chaos := &Outcome{
+		Scenario: Scenario{Name: "contention-under-chaos", Description: "composed excerpt",
+			Workload: &WorkloadSpec{Mixes: []string{"smallbank"}, Skews: []string{"zipfian"}},
+			Faults:   &FaultSpec{Preset: faults.PresetPartitionHeal}},
+		Rows: []OutcomeRow{
+			{System: "Fabric", Benchmark: "smallbank/zipfian:1.10/keys=64",
+				Workload: "smallbank/zipfian:1.10/keys=64", Nodes: 4, Faults: "partition-heal",
+				Result: fakeResult(coconut.RepetitionResult{
+					TPS: 110, Goodput: 60, AbortRate: 0.45, ReceivedNoT: 2400, ExpectedNoT: 3000,
+					Conflicts:    map[string]int{"mvcc-conflict": 1080},
+					Availability: 0.75, Recovered: true, RecoverySec: 0.3,
+					GoodputRecovered: true, GoodputRecoverySec: 1.1,
+					Windows:          []coconut.WindowStat{{}},
+				})},
+		},
+	}
+
+	contention := &Outcome{
+		Scenario: Scenario{Name: "contention-sweep", Description: "contention excerpt",
+			Workload: &WorkloadSpec{Mixes: []string{"smallbank"}, Skews: []string{"zipfian"}}},
+		Rows: []OutcomeRow{
+			{System: "Quorum", Benchmark: "smallbank/zipfian:1.10/keys=64",
+				Workload: "smallbank/zipfian:1.10/keys=64", Nodes: 4,
+				Result: fakeResult(coconut.RepetitionResult{
+					TPS: 190, Goodput: 150, AbortRate: 0.21, FLS: 1.2,
+					ReceivedNoT: 5700, ExpectedNoT: 6000,
+					Conflicts:   map[string]int{"insufficient-funds": 1200},
+				})},
+		},
+	}
+
 	var sb strings.Builder
-	outcomes := []RowOutcome{{
-		Row:      tbl.Rows[0],
-		Measured: coconut.Aggregate("Fabric", "BankingApp-SendPayment", nil, []coconut.RepetitionResult{{TPS: 810, ReceivedNoT: 2400, ExpectedNoT: 2400}}),
-	}}
-	if err := WriteTableReport(&sb, tbl, outcomes); err != nil {
+	if err := WriteReport(&sb, figure, scale, table, fault, chaos, contention); err != nil {
 		t.Fatal(err)
 	}
 	got := sb.String()
-	if !strings.Contains(got, "Table 13+14") || !strings.Contains(got, "801.36") {
-		t.Fatalf("report missing content:\n%s", got)
+
+	goldenPath := filepath.Join("testdata", "report_golden.md")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with UPDATE_GOLDEN=1 to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("report drifted from golden (UPDATE_GOLDEN=1 regenerates).\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestWriteReportSectionShapes(t *testing.T) {
+	// Figure sections carry paper-delta columns; zero-zero cells render as
+	// "both fail"; fault columns appear only under the fault axis.
+	figure := &Outcome{
+		Scenario: Scenario{Name: "figure3", PaperRef: "figure3"},
+		Rows: []OutcomeRow{
+			fakeRow("Fabric", "DoNothing", &PaperRefValues{MTPS: 1461.05},
+				coconut.RepetitionResult{TPS: 1550}),
+			fakeRow("Corda OS", "KeyValue-Get", &PaperRefValues{MTPS: 0}, coconut.RepetitionResult{}),
+		},
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, figure); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"## figure3", "Paper MTPS", "1461.05", "1550.00", "1.06x", "both fail"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("figure section lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "Availability") || strings.Contains(got, "Goodput") {
+		t.Fatalf("healthy figure section must not carry fault/contention columns:\n%s", got)
+	}
+}
+
+func TestWriteReportScaleMarkers(t *testing.T) {
+	scale := &Outcome{
+		Scenario: Scenario{Name: "figure5", PaperRef: "figure5"},
+		Rows: []OutcomeRow{
+			{System: "Fabric", Benchmark: "DoNothing", Nodes: 4, Paper: &PaperRefValues{},
+				Result: fakeResult(coconut.RepetitionResult{TPS: 1500})},
+			{System: "Fabric", Benchmark: "DoNothing", Nodes: 16, Paper: &PaperRefValues{Failed: true},
+				Result: fakeResult(coconut.RepetitionResult{})},
+			{System: "Fabric", Benchmark: "DoNothing", Nodes: 32, Paper: &PaperRefValues{Failed: true},
+				Result: fakeResult(coconut.RepetitionResult{TPS: 900})},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, scale); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"| 4 nodes |", "| 16 nodes |", "failed ✓", "1500.0", "900.0 (paper failed)"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("scale section lacks %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestWriteReportScaleKeepsDistinctBenchmarks(t *testing.T) {
+	// A multi-benchmark scalability sweep must render one matrix row per
+	// (system, benchmark), not silently overwrite earlier benchmarks.
+	scale := &Outcome{
+		Scenario: Scenario{Name: "figure5", PaperRef: "figure5"},
+		Rows: []OutcomeRow{
+			{System: "Fabric", Benchmark: "DoNothing", Nodes: 4,
+				Result: fakeResult(coconut.RepetitionResult{TPS: 1500})},
+			{System: "Fabric", Benchmark: "KeyValue-Set", Nodes: 4,
+				Result: fakeResult(coconut.RepetitionResult{TPS: 1300})},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, scale); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"| Fabric — DoNothing |", "| Fabric — KeyValue-Set |", "1500.0", "1300.0"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("multi-benchmark scale section lacks %q:\n%s", want, got)
+		}
 	}
 }
 
 func TestShapeChecksPassOnPaperShapedGrid(t *testing.T) {
-	outcomes := fullGrid()
-	for _, line := range ShapeChecks(outcomes) {
+	rows := fakeGridRows()
+	for _, line := range ShapeChecks(rows) {
 		if strings.HasPrefix(line, "FAIL") {
 			t.Errorf("paper-shaped grid failed: %s", line)
 		}
 	}
-	if !ShapesHold(outcomes) {
+	if !ShapesHold(rows) {
 		t.Fatal("ShapesHold = false on a paper-shaped grid")
 	}
 }
 
 func TestShapeChecksCatchInvertedOrdering(t *testing.T) {
-	outcomes := fullGrid()
+	rows := fakeGridRows()
 	// Corrupt: make Corda OS outrun Fabric on DoNothing.
-	for i := range outcomes {
-		if outcomes[i].Cell.System == "Corda OS" && outcomes[i].Cell.Benchmark == coconut.BenchDoNothing {
-			outcomes[i].MeasuredMTPS = 5000
+	for i := range rows {
+		if rows[i].System == "Corda OS" && rows[i].Benchmark == "DoNothing" {
+			rows[i].Result = fakeResult(coconut.RepetitionResult{TPS: 5000})
 		}
 	}
-	if ShapesHold(outcomes) {
+	if ShapesHold(rows) {
 		t.Fatal("corrupted grid passed shape checks")
 	}
 }
 
 func TestShapeChecksSkipWhenCellsMissing(t *testing.T) {
-	lines := ShapeChecks(nil)
-	for _, l := range lines {
+	for _, l := range ShapeChecks(nil) {
 		if strings.HasPrefix(l, "FAIL") {
 			t.Fatalf("empty grid must skip, not fail: %s", l)
 		}
@@ -129,5 +267,17 @@ func TestRelativeError(t *testing.T) {
 	}
 	if got := RelativeError(0, 50); !math.IsInf(got, 1) {
 		t.Fatalf("paper-zero measured-high = %v, want +Inf", got)
+	}
+}
+
+func TestConflictSummaryOrdersAndTruncates(t *testing.T) {
+	r := coconut.Result{Conflicts: map[string]coconut.Stats{
+		"a": {Mean: 5}, "b": {Mean: 50}, "c": {Mean: 10}, "d": {Mean: 0},
+	}}
+	if got := ConflictSummary(r, 2); got != "b:50 c:10" {
+		t.Fatalf("ConflictSummary = %q", got)
+	}
+	if got := ConflictSummary(coconut.Result{}, 3); got != "-" {
+		t.Fatalf("empty ConflictSummary = %q", got)
 	}
 }

@@ -1,9 +1,6 @@
 package experiments
 
 import (
-	"fmt"
-	"io"
-
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/systems"
 )
@@ -102,29 +99,4 @@ func TableByID(id string) (Table, bool) {
 		}
 	}
 	return Table{}, false
-}
-
-// RowOutcome pairs a table row with its measured reproduction.
-type RowOutcome struct {
-	Row      TableRow
-	Measured coconut.Result
-}
-
-// RunTable reproduces one table, streaming rows to w when non-nil.
-func RunTable(tbl Table, o Options, w io.Writer) ([]RowOutcome, error) {
-	o.fill()
-	var out []RowOutcome
-	for _, row := range tbl.Rows {
-		res, err := RunCell(tbl.System, tbl.Benchmark, row.Params, o)
-		if err != nil {
-			return nil, fmt.Errorf("table %s row %+v: %w", tbl.ID, row.Params.Labels(), err)
-		}
-		out = append(out, RowOutcome{Row: row, Measured: res})
-		if w != nil {
-			fmt.Fprintf(w, "Table %-6s %v: paper MTPS=%8.2f measured MTPS=%8.2f  recv=%.0f/%.0f\n",
-				tbl.ID, row.Params.Labels(), row.PaperMTPS, res.MTPS.Mean,
-				res.Received.Mean, res.Expected.Mean)
-		}
-	}
-	return out, nil
 }

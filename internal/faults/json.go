@@ -1,0 +1,102 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// JSON (de)serialization for schedules, so chaos scripts are data: a
+// Schedule round-trips through the experiment plane's scenario files and
+// the registry without losing event semantics. Kinds serialize as their
+// String() names ("crash", "partition", ...) and durations as Go duration
+// strings ("30s", "1.5s"), keeping schedule files human-writable.
+
+// kindNames maps serialized names back to kinds; it is the inverse of
+// Kind.String over the valid kinds.
+var kindNames = map[string]Kind{
+	"crash":     CrashNode,
+	"restart":   RestartNode,
+	"partition": Partition,
+	"heal":      Heal,
+	"degrade":   DegradeLink,
+	"slow":      SlowNode,
+}
+
+// ParseKind resolves a serialized kind name ("crash", "restart",
+// "partition", "heal", "degrade", "slow").
+func ParseKind(name string) (Kind, error) {
+	if k, ok := kindNames[name]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("faults: unknown event kind %q (want crash, restart, partition, heal, degrade, or slow)", name)
+}
+
+// MarshalJSON implements json.Marshaler: kinds serialize as their names.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	if _, err := ParseKind(k.String()); err != nil {
+		return nil, fmt.Errorf("faults: cannot serialize invalid kind %d", int(k))
+	}
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return fmt.Errorf("faults: event kind must be a string: %w", err)
+	}
+	parsed, err := ParseKind(name)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// eventJSON is the wire form of an Event: durations as strings, optional
+// fields omitted.
+type eventJSON struct {
+	At    string  `json:"at"`
+	Kind  Kind    `json:"kind"`
+	Node  int     `json:"node,omitempty"`
+	Group []int   `json:"group,omitempty"`
+	Extra string  `json:"extra,omitempty"`
+	Loss  float64 `json:"loss,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (e Event) MarshalJSON() ([]byte, error) {
+	ej := eventJSON{
+		At:    e.At.String(),
+		Kind:  e.Kind,
+		Node:  e.Node,
+		Group: e.Group,
+		Loss:  e.Loss,
+	}
+	if e.Extra != 0 {
+		ej.Extra = e.Extra.String()
+	}
+	return json.Marshal(ej)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var ej eventJSON
+	if err := json.Unmarshal(data, &ej); err != nil {
+		return err
+	}
+	at, err := time.ParseDuration(ej.At)
+	if err != nil {
+		return fmt.Errorf("faults: event %s has bad offset %q (want a duration like \"90s\"): %w", ej.Kind, ej.At, err)
+	}
+	var extra time.Duration
+	if ej.Extra != "" {
+		extra, err = time.ParseDuration(ej.Extra)
+		if err != nil {
+			return fmt.Errorf("faults: event %s has bad extra latency %q: %w", ej.Kind, ej.Extra, err)
+		}
+	}
+	*e = Event{At: at, Kind: ej.Kind, Node: ej.Node, Group: ej.Group, Extra: extra, Loss: ej.Loss}
+	return nil
+}

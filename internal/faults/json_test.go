@@ -1,0 +1,82 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	in := Schedule{Events: []Event{
+		{At: 90 * time.Second, Kind: Partition, Group: []int{2, 3}},
+		{At: 180 * time.Second, Kind: Heal},
+		{At: 200 * time.Second, Kind: CrashNode, Node: 1},
+		{At: 220 * time.Second, Kind: RestartNode, Node: 1},
+		{At: 230 * time.Second, Kind: SlowNode, Node: 0, Extra: 1500 * time.Millisecond, Loss: 0.02},
+		{At: 240 * time.Second, Kind: DegradeLink, Extra: 5 * time.Second, Loss: 0.1},
+	}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Schedule
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip diverged:\n in: %+v\nout: %+v", in, out)
+	}
+	// The wire form is human-writable: names and duration strings.
+	s := string(data)
+	for _, want := range []string{`"partition"`, `"heal"`, `"crash"`, `"restart"`, `"slow"`, `"degrade"`, `"1m30s"`, `"1.5s"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("serialized schedule lacks %s:\n%s", want, s)
+		}
+	}
+}
+
+func TestScheduleJSONHumanWritable(t *testing.T) {
+	raw := `{"events":[
+		{"at":"30s","kind":"partition","group":[3]},
+		{"at":"1m","kind":"heal"}
+	]}`
+	var sched Schedule
+	if err := json.Unmarshal([]byte(raw), &sched); err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Events) != 2 || sched.Events[0].Kind != Partition || sched.Events[1].At != time.Minute {
+		t.Fatalf("parsed schedule = %+v", sched.Events)
+	}
+}
+
+func TestScheduleJSONRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"unknown kind": `{"events":[{"at":"1s","kind":"meteor"}]}`,
+		"bad offset":   `{"events":[{"at":"soon","kind":"heal"}]}`,
+		"bad extra":    `{"events":[{"at":"1s","kind":"slow","extra":"much"}]}`,
+		"numeric kind": `{"events":[{"at":"1s","kind":3}]}`,
+	}
+	for name, raw := range cases {
+		var sched Schedule
+		if err := json.Unmarshal([]byte(raw), &sched); err == nil {
+			t.Errorf("%s: accepted %s", name, raw)
+		}
+	}
+}
+
+func TestParseKindInvertsString(t *testing.T) {
+	for _, k := range []Kind{CrashNode, RestartNode, Partition, Heal, DegradeLink, SlowNode} {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Fatalf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Fatal("ParseKind accepted an unknown name")
+	}
+	if _, err := Kind(99).MarshalJSON(); err == nil {
+		t.Fatal("invalid kind serialized")
+	}
+}

@@ -88,7 +88,7 @@ type Event struct {
 // the injector applies them in time order (ties keep their declaration
 // order).
 type Schedule struct {
-	Events []Event
+	Events []Event `json:"events"`
 }
 
 // sorted returns the events in stable time order.
