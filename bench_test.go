@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/consensus/notary"
 	"github.com/coconut-bench/coconut/internal/crypto"
@@ -249,14 +250,14 @@ func BenchmarkAblationSigning(b *testing.B) {
 		}
 		b.Run("serial/"+strconv.Itoa(parties), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := notary.CollectSignatures(notary.Serial, names, crypto.SumString("tx"), sign); err != nil {
+				if _, err := notary.CollectSignatures(clock.New(), notary.Serial, names, crypto.SumString("tx"), sign); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run("parallel/"+strconv.Itoa(parties), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := notary.CollectSignatures(notary.Parallel, names, crypto.SumString("tx"), sign); err != nil {
+				if _, err := notary.CollectSignatures(clock.New(), notary.Parallel, names, crypto.SumString("tx"), sign); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -297,7 +298,7 @@ func BenchmarkAblationConsensus(b *testing.B) {
 // claim: node-side measurement (count commits on the first node) overstates
 // what clients actually confirm end to end (all nodes + notification).
 func BenchmarkAblationEndToEnd(b *testing.B) {
-	run := func(b *testing.B, newDriver func() systems.Driver) (nodeSide, endToEnd float64) {
+	run := func(b *testing.B, newDriver func(clk clock.Clock) systems.Driver) (nodeSide, endToEnd float64) {
 		b.Helper()
 		res, err := coconut.Run(coconut.RunConfig{
 			SystemName:      "ablation",
@@ -318,7 +319,7 @@ func BenchmarkAblationEndToEnd(b *testing.B) {
 	b.Run("fabric", func(b *testing.B) {
 		var sent, confirmed float64
 		for i := 0; i < b.N; i++ {
-			sent, confirmed = run(b, func() systems.Driver {
+			sent, confirmed = run(b, func(clk clock.Clock) systems.Driver {
 				return fabric.New(fabric.Config{MaxMessageCount: 20, BatchTimeout: 20 * time.Millisecond})
 			})
 		}
@@ -328,7 +329,7 @@ func BenchmarkAblationEndToEnd(b *testing.B) {
 	b.Run("quorum", func(b *testing.B) {
 		var sent, confirmed float64
 		for i := 0; i < b.N; i++ {
-			sent, confirmed = run(b, func() systems.Driver {
+			sent, confirmed = run(b, func(clk clock.Clock) systems.Driver {
 				return quorum.New(quorum.Config{BlockPeriod: 20 * time.Millisecond})
 			})
 		}
@@ -427,7 +428,7 @@ func BenchmarkAblationOrdering(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res, err := coconut.Run(coconut.RunConfig{
 				SystemName: "fabric-ablation",
-				NewDriver: func() systems.Driver {
+				NewDriver: func(clk clock.Clock) systems.Driver {
 					return fabric.New(fabric.Config{
 						Ordering:        ordering,
 						KafkaOverhead:   5 * time.Millisecond,
@@ -464,7 +465,7 @@ func BenchmarkAblationSubsetSigning(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			res, err := coconut.Run(coconut.RunConfig{
 				SystemName: "corda-ablation",
-				NewDriver: func() systems.Driver {
+				NewDriver: func(clk clock.Clock) systems.Driver {
 					return corda.NewOS(corda.Config{
 						Nodes:           nodes,
 						RequiredSigners: required,

@@ -154,6 +154,19 @@ func parseOutcomeFile(path string) ([]Entry, error) {
 			}
 			entries = append(entries, Entry{Name: name, Iterations: 1, Metrics: metrics})
 		}
+		// Virtual-time runs also carry per-cell speed accounting: how many
+		// simulated seconds the cell covered per wall-clock second.
+		for _, t := range oc.Timings {
+			entries = append(entries, Entry{
+				Name:       "Scenario/" + scenario + "/virtual-time/" + strings.ReplaceAll(t.Cell, " ", "_"),
+				Iterations: 1,
+				Metrics: map[string]float64{
+					"simSeconds":  t.SimSeconds,
+					"wallSeconds": t.WallSeconds,
+					"simSpeedup":  t.Speedup,
+				},
+			})
+		}
 	}
 	return entries, nil
 }

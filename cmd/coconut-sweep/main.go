@@ -58,6 +58,7 @@ func run() error {
 		reps        = flag.Int("reps", 1, "repetitions (the paper uses 3)")
 		seed        = flag.Int64("seed", 42, "deterministic seed")
 		arrival     = flag.String("arrival", "uniform", "client arrival schedule: uniform, poisson, or burst[:N]")
+		timeMode    = flag.String("time", "real", "clock driving every run: real (wall clock) or virtual (auto-advancing simulated clock; CPU-bound, prints per-cell speedups)")
 		faultsArg   = flag.String("faults", "", "legacy: chaos preset to run all systems under; same as -scenario faults-PRESET: "+
 			strings.Join(faults.PresetNames(), ", "))
 		workloadArg = flag.String("workload", "", "legacy: contention workload family to sweep: kv, smallbank, or all")
@@ -106,12 +107,16 @@ func run() error {
 	if _, err := coconut.ArrivalByName(*arrival); err != nil {
 		return err
 	}
+	if !experiments.ValidTime(*timeMode) {
+		return fmt.Errorf("unknown -time %q (want real or virtual)", *timeMode)
+	}
 	opts := experiments.Options{
 		Scale:       *scale,
 		SendSeconds: *sendSec,
 		Repetitions: *reps,
 		Arrival:     *arrival,
 		Seed:        *seed,
+		Time:        *timeMode,
 		Progress:    printProgress,
 	}
 
@@ -161,6 +166,10 @@ func run() error {
 			return err
 		}
 		outcomes = append(outcomes, oc)
+		for _, t := range oc.Timings {
+			fmt.Printf("  [virtual] %-40s %8.1f sim-s / %6.2f wall-s = %7.1fx\n",
+				t.Cell, t.SimSeconds, t.WallSeconds, t.Speedup)
+		}
 		if sc.PaperRef == "figure3" {
 			for _, line := range experiments.ShapeChecks(oc.Rows) {
 				fmt.Println("  " + line)

@@ -17,6 +17,7 @@ import (
 	"log"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/systems"
 	"github.com/coconut-bench/coconut/internal/systems/fabric"
@@ -38,22 +39,23 @@ func run() error {
 
 	type candidate struct {
 		name      string
-		newDriver func() systems.Driver
+		newDriver func(clk clock.Clock) systems.Driver
 	}
 	candidates := []candidate{
 		{
 			name: systems.NameFabric,
-			newDriver: func() systems.Driver {
+			newDriver: func(clk clock.Clock) systems.Driver {
 				return fabric.New(fabric.Config{
 					MaxMessageCount: 50,
 					BatchTimeout:    20 * time.Millisecond,
+					Clock:           clk,
 				})
 			},
 		},
 		{
 			name: systems.NameQuorum,
-			newDriver: func() systems.Driver {
-				return quorum.New(quorum.Config{BlockPeriod: 20 * time.Millisecond})
+			newDriver: func(clk clock.Clock) systems.Driver {
+				return quorum.New(quorum.Config{BlockPeriod: 20 * time.Millisecond, Clock: clk})
 			},
 		},
 	}

@@ -15,6 +15,7 @@ import (
 	"log"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/systems"
 	"github.com/coconut-bench/coconut/internal/systems/quorum"
@@ -38,8 +39,8 @@ func run() error {
 	for _, sched := range schedules {
 		results, err := coconut.Run(coconut.RunConfig{
 			SystemName: systems.NameQuorum,
-			NewDriver: func() systems.Driver {
-				return quorum.New(quorum.Config{BlockPeriod: 20 * time.Millisecond})
+			NewDriver: func(clk clock.Clock) systems.Driver {
+				return quorum.New(quorum.Config{BlockPeriod: 20 * time.Millisecond, Clock: clk})
 			},
 			Unit:         []coconut.BenchmarkName{coconut.BenchDoNothing},
 			Clients:      2,

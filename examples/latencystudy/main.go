@@ -30,15 +30,16 @@ func main() {
 
 func run() error {
 	measure := func(label string, model network.LatencyModel) (float64, float64, error) {
-		newDriver := func() systems.Driver {
+		newDriver := func(clk clock.Clock) systems.Driver {
 			var tr *network.Transport
 			if model != nil {
-				tr = network.NewTransport(clock.New(), model)
+				tr = network.NewTransport(clk, model)
 			}
 			return fabric.New(fabric.Config{
 				MaxMessageCount: 50,
 				BatchTimeout:    20 * time.Millisecond,
 				Transport:       tr,
+				Clock:           clk,
 			})
 		}
 		results, err := coconut.Run(coconut.RunConfig{

@@ -12,6 +12,7 @@ import (
 	"log"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/systems"
 	"github.com/coconut-bench/coconut/internal/systems/fabric"
@@ -27,10 +28,11 @@ func run() error {
 	// A fresh 4-peer / 3-orderer Fabric network per repetition, with blocks
 	// cut at 50 transactions or 20ms (a scaled-down MaxMessageCount=500 /
 	// BatchTimeout=2s from the paper's Table 5).
-	newDriver := func() systems.Driver {
+	newDriver := func(clk clock.Clock) systems.Driver {
 		return fabric.New(fabric.Config{
 			MaxMessageCount: 50,
 			BatchTimeout:    20 * time.Millisecond,
+			Clock:           clk,
 		})
 	}
 

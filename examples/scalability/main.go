@@ -17,6 +17,7 @@ import (
 	"log"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/systems"
 	"github.com/coconut-bench/coconut/internal/systems/bitshares"
@@ -33,7 +34,7 @@ func run() error {
 	sizes := []int{4, 8, 16}
 
 	measure := func(system string, nodes int) (float64, error) {
-		newDriver := func() systems.Driver {
+		newDriver := func(clk clock.Clock) systems.Driver {
 			switch system {
 			case systems.NameCordaOS:
 				return corda.NewOS(corda.Config{
@@ -41,11 +42,13 @@ func run() error {
 					SignProcessing: 3 * time.Millisecond, // serial per counterparty
 					ScanCost:       time.Microsecond,
 					FlowTimeout:    10 * time.Second,
+					Clock:          clk,
 				})
 			default:
 				return bitshares.New(bitshares.Config{
 					Nodes:         nodes,
 					BlockInterval: 20 * time.Millisecond,
+					Clock:         clk,
 				})
 			}
 		}

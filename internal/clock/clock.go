@@ -4,7 +4,10 @@
 // or a deterministic virtual clock in tests.
 package clock
 
-import "time"
+import (
+	"reflect"
+	"time"
+)
 
 // Clock abstracts the time source used by nodes and clients.
 type Clock interface {
@@ -29,15 +32,19 @@ type Clock interface {
 }
 
 // Ticker delivers ticks at intervals. It mirrors time.Ticker but is
-// interface-based so virtual clocks can implement it.
+// interface-based so virtual clocks can implement it. Every Ticker is a
+// Waitable, so it can be a source in Await.
 type Ticker interface {
+	Waitable
 	C() <-chan time.Time
 	Stop()
 	Reset(d time.Duration)
 }
 
-// Timer delivers a single tick. It mirrors time.Timer.
+// Timer delivers a single tick. It mirrors time.Timer. Every Timer is a
+// Waitable, so it can be a source in Await.
 type Timer interface {
+	Waitable
 	C() <-chan time.Time
 	Stop() bool
 	Reset(d time.Duration) bool
@@ -84,8 +91,20 @@ func (r *realTicker) C() <-chan time.Time   { return r.t.C }
 func (r *realTicker) Stop()                 { r.t.Stop() }
 func (r *realTicker) Reset(d time.Duration) { r.t.Reset(d) }
 
+// Real-clock tickers are only ever awaited through the reflect.Select path.
+func (r *realTicker) waitChan() reflect.Value            { return reflect.ValueOf(r.t.C) }
+func (r *realTicker) attach(*Actor)                      {}
+func (r *realTicker) detach(*Actor)                      {}
+func (r *realTicker) tryConsumeLocked() (any, bool, bool) { return nil, false, false }
+
 type realTimer struct{ t *time.Timer }
 
 func (r *realTimer) C() <-chan time.Time        { return r.t.C }
 func (r *realTimer) Stop() bool                 { return r.t.Stop() }
 func (r *realTimer) Reset(d time.Duration) bool { return r.t.Reset(d) }
+
+// Real-clock timers are only ever awaited through the reflect.Select path.
+func (r *realTimer) waitChan() reflect.Value            { return reflect.ValueOf(r.t.C) }
+func (r *realTimer) attach(*Actor)                      {}
+func (r *realTimer) detach(*Actor)                      {}
+func (r *realTimer) tryConsumeLocked() (any, bool, bool) { return nil, false, false }

@@ -2,6 +2,7 @@ package clock
 
 import (
 	"container/heap"
+	"reflect"
 	"sync"
 	"time"
 )
@@ -14,6 +15,7 @@ type Virtual struct {
 	now     time.Time
 	waiters waiterHeap
 	seq     int64
+	auto    *autoCore // non-nil only when wrapped by AutoVirtual
 }
 
 var _ Clock = (*Virtual)(nil)
@@ -51,7 +53,7 @@ func (v *Virtual) NewTicker(d time.Duration) Ticker {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	t := &virtualTicker{clk: v, period: d, ch: make(chan time.Time, 1)}
-	t.w = &waiter{at: v.now.Add(d), ch: t.ch, repeat: d}
+	t.w = &waiter{at: v.now.Add(d), ch: t.ch, repeat: d, wake: &t.watch}
 	v.addWaiterLocked(t.w)
 	return t
 }
@@ -75,7 +77,7 @@ func (v *Virtual) NewTimerAt(at time.Time) Timer {
 
 func (v *Virtual) newTimerAtLocked(at time.Time) Timer {
 	t := &virtualTimer{clk: v, ch: make(chan time.Time, 1)}
-	t.w = &waiter{at: at, ch: t.ch}
+	t.w = &waiter{at: at, ch: t.ch, wake: &t.watch}
 	if !at.After(v.now) {
 		t.w.stopped = true // never enters the heap
 		t.ch <- v.now
@@ -123,9 +125,23 @@ func (v *Virtual) PendingWaiters() int {
 	return n
 }
 
+// addWaiterLocked enqueues the waiter with a deterministic tie-break
+// identity. A waiter created by an actor holding an AutoVirtual's execution
+// token is keyed by (actor name, per-actor counter), which is independent of
+// the OS scheduling order actors happened to start in; everything else falls
+// back to the clock-global creation sequence (the empty tieName sorts first,
+// preserving plain-Virtual ordering exactly).
 func (v *Virtual) addWaiterLocked(w *waiter) {
-	v.seq++
-	w.seq = v.seq
+	if v.auto != nil && v.auto.current != nil {
+		a := v.auto.current
+		a.waiterSeq++
+		w.tieName = a.name
+		w.tieSeq = a.waiterSeq
+	} else {
+		v.seq++
+		w.tieName = ""
+		w.tieSeq = v.seq
+	}
 	heap.Push(&v.waiters, w)
 }
 
@@ -134,7 +150,9 @@ type waiter struct {
 	ch      chan time.Time
 	repeat  time.Duration
 	stopped bool
-	seq     int64
+	tieName string
+	tieSeq  int64
+	wake    *watchers // actors parked on this waiter via Await (auto mode)
 	index   int
 }
 
@@ -143,7 +161,10 @@ type waiterHeap []*waiter
 func (h waiterHeap) Len() int { return len(h) }
 func (h waiterHeap) Less(i, j int) bool {
 	if h[i].at.Equal(h[j].at) {
-		return h[i].seq < h[j].seq
+		if h[i].tieName != h[j].tieName {
+			return h[i].tieName < h[j].tieName
+		}
+		return h[i].tieSeq < h[j].tieSeq
 	}
 	return h[i].at.Before(h[j].at)
 }
@@ -171,6 +192,7 @@ type virtualTicker struct {
 	period time.Duration
 	ch     chan time.Time
 	w      *waiter
+	watch  watchers // survives Reset: replacement waiters reuse the pointer
 }
 
 func (t *virtualTicker) C() <-chan time.Time { return t.ch }
@@ -186,14 +208,25 @@ func (t *virtualTicker) Reset(d time.Duration) {
 	defer t.clk.mu.Unlock()
 	t.w.stopped = true
 	t.period = d
-	t.w = &waiter{at: t.clk.now.Add(d), ch: t.ch, repeat: d}
+	t.w = &waiter{at: t.clk.now.Add(d), ch: t.ch, repeat: d, wake: &t.watch}
 	t.clk.addWaiterLocked(t.w)
 }
 
+func (t *virtualTicker) waitChan() reflect.Value { return reflect.ValueOf(t.ch) }
+func (t *virtualTicker) attach(a *Actor)         { t.watch.add(a) }
+func (t *virtualTicker) detach(a *Actor)         { t.watch.remove(a) }
+func (t *virtualTicker) tryConsumeLocked() (any, bool, bool) {
+	if len(t.ch) > 0 {
+		return <-t.ch, true, true
+	}
+	return nil, false, false
+}
+
 type virtualTimer struct {
-	clk *Virtual
-	ch  chan time.Time
-	w   *waiter
+	clk   *Virtual
+	ch    chan time.Time
+	w     *waiter
+	watch watchers // survives Reset: replacement waiters reuse the pointer
 }
 
 func (t *virtualTimer) C() <-chan time.Time { return t.ch }
@@ -211,7 +244,17 @@ func (t *virtualTimer) Reset(d time.Duration) bool {
 	defer t.clk.mu.Unlock()
 	active := !t.w.stopped && t.clk.now.Before(t.w.at)
 	t.w.stopped = true
-	t.w = &waiter{at: t.clk.now.Add(d), ch: t.ch}
+	t.w = &waiter{at: t.clk.now.Add(d), ch: t.ch, wake: &t.watch}
 	t.clk.addWaiterLocked(t.w)
 	return active
+}
+
+func (t *virtualTimer) waitChan() reflect.Value { return reflect.ValueOf(t.ch) }
+func (t *virtualTimer) attach(a *Actor)         { t.watch.add(a) }
+func (t *virtualTimer) detach(a *Actor)         { t.watch.remove(a) }
+func (t *virtualTimer) tryConsumeLocked() (any, bool, bool) {
+	if len(t.ch) > 0 {
+		return <-t.ch, true, true
+	}
+	return nil, false, false
 }

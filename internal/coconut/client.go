@@ -230,8 +230,9 @@ func (c *Client) onEvent(ev systems.Event) {
 // Run executes the send and listen phases, blocking until both complete,
 // and returns every transaction record (nil when DiscardRecords is set).
 func (c *Client) Run() []TxRecord {
-	stopSend := make(chan struct{})
-	var wg sync.WaitGroup
+	clk := c.cfg.Clock
+	stopSend := clock.NewGate(clk)
+	wg := clock.NewGroup(clk)
 
 	// Shared pacer: each token permits sending one transaction or batch,
 	// which accounts for OpsPerTx*BatchSize payloads against the rate
@@ -243,32 +244,27 @@ func (c *Client) Run() []TxRecord {
 		interval = time.Microsecond
 	}
 	gaps := c.cfg.Arrival.Gaps(interval, c.cfg.ArrivalSeed)
-	tokens := make(chan struct{}, 1)
+	tokens := clock.NewMailbox[struct{}](clk, 1)
 	// Warm start: the first send happens immediately (the paper's threads
 	// start sending at t=0), then the pacer enforces the schedule.
-	tokens <- struct{}{}
+	tokens.TrySend(struct{}{})
+	clock.Fork(clk, 1+c.cfg.WorkloadThreads)
 	wg.Add(1)
 	go func() {
+		h := clock.RegisterForked(clk, c.cfg.ID+"/pacer")
+		defer h.Close()
 		defer wg.Done()
 		for {
 			if g := gaps(); g > 0 {
-				t := c.cfg.Clock.NewTimer(g)
-				select {
-				case <-stopSend:
+				t := clk.NewTimer(g)
+				if i, _, _ := clock.Await(clk, stopSend, t); i == 0 {
 					t.Stop()
 					return
-				case <-t.C():
 				}
-			} else {
-				select {
-				case <-stopSend:
-					return
-				default:
-				}
+			} else if stopSend.Closed() {
+				return
 			}
-			select {
-			case tokens <- struct{}{}:
-			case <-stopSend:
+			if !tokens.Send(struct{}{}, stopSend) {
 				return
 			}
 		}
@@ -278,15 +274,17 @@ func (c *Client) Run() []TxRecord {
 		t := t
 		wg.Add(1)
 		go func() {
+			h := clock.RegisterForked(clk, c.cfg.ID+"/w"+strconv.Itoa(t))
+			defer h.Close()
 			defer wg.Done()
 			c.workloadThread(t, tokens, stopSend)
 		}()
 	}
 
-	c.cfg.Clock.Sleep(c.cfg.SendDuration)
-	close(stopSend)
+	clk.Sleep(c.cfg.SendDuration)
+	stopSend.Close()
 	wg.Wait()
-	c.cfg.Clock.Sleep(c.cfg.ListenGrace)
+	clk.Sleep(c.cfg.ListenGrace)
 	c.detach()
 
 	if c.cfg.DiscardRecords {
@@ -348,7 +346,7 @@ func (c *Client) Summary() ClientSummary {
 
 // workloadThread sends transactions sequentially without waiting for
 // finalization confirmations (§4.3).
-func (c *Client) workloadThread(thread int, tokens <-chan struct{}, stop <-chan struct{}) {
+func (c *Client) workloadThread(thread int, tokens *clock.Mailbox[struct{}], stop *clock.Gate) {
 	threadKey := c.cfg.ID + "/" + strconv.Itoa(thread)
 	var gen OpGen
 	if c.cfg.Gen != nil {
@@ -369,10 +367,11 @@ func (c *Client) workloadThread(thread int, tokens <-chan struct{}, stop <-chan 
 	var idx uint64
 
 	for {
-		select {
-		case <-stop:
+		// The stop gate sits at index 0, so when a token and the shutdown
+		// signal are both ready the cutoff wins — every thread stops at the
+		// same deterministic point under virtual time.
+		if i, _, _ := clock.Await(c.cfg.Clock, stop, tokens); i == 0 {
 			return
-		case <-tokens:
 		}
 
 		if c.cfg.BatchSize > 1 {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/systems"
 	"github.com/coconut-bench/coconut/internal/systems/fabric"
 	"github.com/coconut-bench/coconut/internal/systems/quorum"
@@ -11,7 +12,7 @@ import (
 )
 
 // runContention executes one seeded workload phase against a driver.
-func runContention(t *testing.T, name string, newDriver func() systems.Driver, spec workload.Spec) Result {
+func runContention(t *testing.T, name string, newDriver func(clk clock.Clock) systems.Driver, spec workload.Spec) Result {
 	t.Helper()
 	results, err := Run(RunConfig{
 		SystemName:      name,
@@ -33,10 +34,11 @@ func runContention(t *testing.T, name string, newDriver func() systems.Driver, s
 	return results[0]
 }
 
-func newContentionFabric() systems.Driver {
+func newContentionFabric(clk clock.Clock) systems.Driver {
 	return fabric.New(fabric.Config{
 		MaxMessageCount: 50,
 		BatchTimeout:    10 * time.Millisecond,
+		Clock:           clk,
 	})
 }
 
@@ -72,8 +74,8 @@ func TestContentionFabricMVCCAborts(t *testing.T) {
 // the failed transactions still committed in blocks.
 func TestContentionQuorumSmallBankAborts(t *testing.T) {
 	spec := workload.Spec{Dist: workload.Zipfian{S: 1.3}, Mix: workload.SmallBank{}, Keys: 16, Seed: 11}
-	r := runContention(t, systems.NameQuorum, func() systems.Driver {
-		return quorum.New(quorum.Config{BlockPeriod: 10 * time.Millisecond})
+	r := runContention(t, systems.NameQuorum, func(clk clock.Clock) systems.Driver {
+		return quorum.New(quorum.Config{BlockPeriod: 10 * time.Millisecond, Clock: clk})
 	}, spec)
 
 	if r.Received.Mean <= 0 {
@@ -120,7 +122,7 @@ func TestContentionPreloadRequired(t *testing.T) {
 	spec := workload.Spec{Dist: workload.Zipfian{}, Mix: workload.SmallBank{}, Keys: 8, Seed: 1}
 	_, err := Run(RunConfig{
 		SystemName:      "no-preload",
-		NewDriver:       func() systems.Driver { return noPreloadDriver{} },
+		NewDriver:       func(clk clock.Clock) systems.Driver { return noPreloadDriver{} },
 		Workload:        &spec,
 		Clients:         1,
 		RateLimit:       10,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/systems"
 	"github.com/coconut-bench/coconut/internal/systems/fabric"
@@ -15,7 +16,7 @@ import (
 func ExampleRun() {
 	results, err := coconut.Run(coconut.RunConfig{
 		SystemName: systems.NameFabric,
-		NewDriver: func() systems.Driver {
+		NewDriver: func(clk clock.Clock) systems.Driver {
 			return fabric.New(fabric.Config{
 				MaxMessageCount: 20,
 				BatchTimeout:    10 * time.Millisecond,

@@ -2,7 +2,6 @@ package coconut
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/clock"
@@ -17,8 +16,10 @@ import (
 type RunConfig struct {
 	// SystemName labels the result rows.
 	SystemName string
-	// NewDriver provisions a fresh system (called once per repetition).
-	NewDriver func() systems.Driver
+	// NewDriver provisions a fresh system (called once per repetition) on
+	// the given time source — the repetition's clock, so virtual repetitions
+	// never share timer state.
+	NewDriver func(clk clock.Clock) systems.Driver
 	// Unit lists the benchmarks to run in sequence on the same system.
 	Unit []BenchmarkName
 	// Workload, when set, replaces the paper benchmark generators with the
@@ -70,6 +71,10 @@ type RunConfig struct {
 	Params map[string]string
 	// Clock is the time source.
 	Clock clock.Clock
+	// NewClock, when set, constructs a fresh time source per repetition
+	// (overriding Clock). Auto-advancing virtual runs need this: a clock's
+	// scheduler state must not span re-provisioned systems.
+	NewClock func() clock.Clock
 }
 
 func (c *RunConfig) fill() {
@@ -124,8 +129,16 @@ func Run(cfg RunConfig) ([]Result, error) {
 }
 
 // runRepetition provisions one fresh system and runs every unit member.
+// cfg is received by value, so the per-repetition clock override stays local.
 func runRepetition(cfg RunConfig, rep int) (map[BenchmarkName]RepetitionResult, error) {
-	driver := cfg.NewDriver()
+	if cfg.NewClock != nil {
+		cfg.Clock = cfg.NewClock()
+	}
+	// Under auto-advancing virtual time the runner itself is an actor: its
+	// stabilize/send/grace sleeps park it so the clock can jump.
+	h := clock.Register(cfg.Clock, "coconut-runner")
+	defer h.Close()
+	driver := cfg.NewDriver(cfg.Clock)
 	if cfg.Faults != nil {
 		runLen := cfg.SendDuration + cfg.ListenGrace
 		if err := cfg.Faults.Validate(runLen, driver.NodeCount()); err != nil {
@@ -135,7 +148,14 @@ func runRepetition(cfg RunConfig, rep int) (map[BenchmarkName]RepetitionResult, 
 	if err := driver.Start(); err != nil {
 		return nil, fmt.Errorf("start driver: %w", err)
 	}
-	defer driver.Stop()
+	stopped := false
+	stopDriver := func() {
+		if !stopped {
+			stopped = true
+			driver.Stop()
+		}
+	}
+	defer stopDriver()
 	if cfg.Workload != nil {
 		if setup := cfg.Workload.SetupOps(); len(setup) > 0 {
 			pl, ok := driver.(systems.Preloader)
@@ -171,6 +191,15 @@ func runRepetition(cfg RunConfig, rep int) (map[BenchmarkName]RepetitionResult, 
 		writtenCounts[bench] = sent
 		out[bench] = rr
 		quiesce(cfg, driver)
+	}
+	// Teardown leak check: after the driver stops, every timer and ticker
+	// armed during the repetition must have fired or been stopped —
+	// otherwise long soaks accumulate dead waiters in the virtual heap.
+	stopDriver()
+	if pw, ok := cfg.Clock.(interface{ PendingWaiters() int }); ok {
+		if n := pw.PendingWaiters(); n != 0 {
+			return nil, fmt.Errorf("coconut: %d timer/ticker waiter(s) leaked at repetition teardown", n)
+		}
 	}
 	return out, nil
 }
@@ -254,15 +283,18 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 	// All clients wait on a shared barrier so load starts uniformly (§4.3).
 	// Each goroutine writes only its own summary slot; wg.Wait orders the
 	// writes before the merge, so no lock is needed.
-	var wg sync.WaitGroup
+	wg := clock.NewGroup(cfg.Clock)
 	sums := make([]ClientSummary, len(clients))
-	start := make(chan struct{})
+	start := clock.NewGate(cfg.Clock)
+	clock.Fork(cfg.Clock, len(clients))
 	for i, cl := range clients {
 		i, cl := i, cl
 		wg.Add(1)
 		go func() {
+			h := clock.RegisterForked(cfg.Clock, cl.cfg.ID)
+			defer h.Close()
 			defer wg.Done()
-			<-start
+			clock.Await(cfg.Clock, start)
 			cl.Run()
 			sums[i] = cl.Summary()
 		}()
@@ -284,7 +316,7 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		injector = faults.NewInjector(driver, *cfg.Faults, cfg.Clock)
 		injector.Start()
 	}
-	close(start)
+	start.Close()
 	wg.Wait()
 	if injector != nil {
 		injector.Stop()

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/faults"
 	"github.com/coconut-bench/coconut/internal/systems"
 )
@@ -13,7 +14,7 @@ import (
 func TestRunnerNoFaultFullAvailability(t *testing.T) {
 	results, err := Run(RunConfig{
 		SystemName:      "fake",
-		NewDriver:       func() systems.Driver { return newFakeDriver() },
+		NewDriver:       func(clk clock.Clock) systems.Driver { return newFakeDriver() },
 		Unit:            []BenchmarkName{BenchDoNothing},
 		Clients:         1,
 		RateLimit:       400,
@@ -52,7 +53,7 @@ func TestRunnerPartitionDipAndRecovery(t *testing.T) {
 	}}
 	results, err := Run(RunConfig{
 		SystemName:      "fake",
-		NewDriver:       func() systems.Driver { return newFakeDriver() },
+		NewDriver:       func(clk clock.Clock) systems.Driver { return newFakeDriver() },
 		Unit:            []BenchmarkName{BenchDoNothing},
 		Clients:         1,
 		RateLimit:       400,
@@ -117,7 +118,7 @@ func TestRunnerRejectsInvalidSchedule(t *testing.T) {
 	}}
 	_, err := Run(RunConfig{
 		SystemName:   "fake",
-		NewDriver:    func() systems.Driver { return newFakeDriver() },
+		NewDriver:    func(clk clock.Clock) systems.Driver { return newFakeDriver() },
 		Unit:         []BenchmarkName{BenchDoNothing},
 		Clients:      1,
 		SendDuration: 100 * time.Millisecond,

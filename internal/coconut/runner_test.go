@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
 
 	"github.com/coconut-bench/coconut/internal/systems"
 	"github.com/coconut-bench/coconut/internal/systems/fabric"
@@ -18,7 +19,7 @@ import (
 func TestRunFabricDoNothingUnit(t *testing.T) {
 	results, err := Run(RunConfig{
 		SystemName: systems.NameFabric,
-		NewDriver: func() systems.Driver {
+		NewDriver: func(clk clock.Clock) systems.Driver {
 			return fabric.New(fabric.Config{
 				MaxMessageCount: 50,
 				BatchTimeout:    10 * time.Millisecond,
@@ -57,7 +58,7 @@ func TestRunFabricDoNothingUnit(t *testing.T) {
 func TestRunKeyValueUnitGetFindsSetKeys(t *testing.T) {
 	results, err := Run(RunConfig{
 		SystemName: systems.NameFabric,
-		NewDriver: func() systems.Driver {
+		NewDriver: func(clk clock.Clock) systems.Driver {
 			return fabric.New(fabric.Config{
 				MaxMessageCount: 20,
 				BatchTimeout:    10 * time.Millisecond,
@@ -95,7 +96,7 @@ func TestRunKeyValueUnitGetFindsSetKeys(t *testing.T) {
 func TestRunBankingUnitOnQuorum(t *testing.T) {
 	results, err := Run(RunConfig{
 		SystemName: systems.NameQuorum,
-		NewDriver: func() systems.Driver {
+		NewDriver: func(clk clock.Clock) systems.Driver {
 			return quorum.New(quorum.Config{BlockPeriod: 10 * time.Millisecond})
 		},
 		Unit:            []BenchmarkName{BenchCreateAccount, BenchSendPayment, BenchBalance},
@@ -122,7 +123,7 @@ func TestRunBankingUnitOnQuorum(t *testing.T) {
 func TestRunSawtoothBatches(t *testing.T) {
 	results, err := Run(RunConfig{
 		SystemName: systems.NameSawtooth,
-		NewDriver: func() systems.Driver {
+		NewDriver: func(clk clock.Clock) systems.Driver {
 			return sawtooth.New(sawtooth.Config{
 				BlockPublishingDelay: 10 * time.Millisecond,
 				QueueDepth:           1000,
@@ -221,7 +222,7 @@ func TestRunnerQuiescesBetweenUnitMembers(t *testing.T) {
 
 	_, err := Run(RunConfig{
 		SystemName:      "fake",
-		NewDriver:       func() systems.Driver { return d },
+		NewDriver:       func(clk clock.Clock) systems.Driver { return d },
 		Unit:            []BenchmarkName{BenchKeyValueSet, BenchKeyValueGet},
 		Clients:         1,
 		RateLimit:       100,
@@ -249,7 +250,7 @@ func TestRunnerQuiesceTimeoutBounds(t *testing.T) {
 	start := time.Now()
 	_, err := Run(RunConfig{
 		SystemName:      "fake",
-		NewDriver:       func() systems.Driver { return d },
+		NewDriver:       func(clk clock.Clock) systems.Driver { return d },
 		Unit:            []BenchmarkName{BenchDoNothing},
 		Clients:         1,
 		RateLimit:       100,

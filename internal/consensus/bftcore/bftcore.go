@@ -146,9 +146,9 @@ type Core struct {
 	applyMu     sync.Mutex                   // serializes OnDecide delivery
 	running     bool
 
-	events chan network.Message
-	stop   chan struct{}
-	done   chan struct{}
+	events *clock.Mailbox[network.Message]
+	stop   *clock.Gate
+	done   *clock.Gate
 }
 
 var _ consensus.Engine = (*Core)(nil)
@@ -162,9 +162,9 @@ func New(cfg Config) *Core {
 		future:      make(map[uint64][]network.Message),
 		futureRound: make(map[uint64][]network.Message),
 		roundAhead:  make(map[uint64]map[string]bool),
-		events:      make(chan network.Message, 8192),
-		stop:        make(chan struct{}),
-		done:        make(chan struct{}),
+		events:      clock.NewMailbox[network.Message](cfg.Clock, 8192),
+		stop:        clock.NewGate(cfg.Clock),
+		done:        clock.NewGate(cfg.Clock),
 	}
 }
 
@@ -180,11 +180,9 @@ func (c *Core) Start() error {
 	c.mu.Unlock()
 
 	c.cfg.Transport.Register(c.cfg.ID, func(m network.Message) {
-		select {
-		case c.events <- m:
-		case <-c.stop:
-		}
+		c.events.Send(m, c.stop)
 	})
+	clock.Fork(c.cfg.Clock, 1)
 	go c.run()
 	return nil
 }
@@ -198,8 +196,8 @@ func (c *Core) Stop() {
 	}
 	c.running = false
 	c.mu.Unlock()
-	close(c.stop)
-	<-c.done
+	c.stop.Close()
+	clock.Await(c.cfg.Clock, c.done)
 	c.cfg.Transport.Unregister(c.cfg.ID)
 }
 
@@ -274,16 +272,18 @@ func (c *Core) newInstanceLocked() {
 }
 
 func (c *Core) run() {
-	defer close(c.done)
+	h := clock.RegisterForked(c.cfg.Clock, "bftcore/"+c.cfg.ID)
+	defer h.Close()
+	defer c.done.Close()
 	tick := c.cfg.Clock.NewTicker(c.cfg.RoundTimeout / 4)
 	defer tick.Stop()
 	for {
-		select {
-		case <-c.stop:
+		switch i, val, _ := clock.Await(c.cfg.Clock, c.stop, c.events, tick); i {
+		case 0:
 			return
-		case m := <-c.events:
-			c.handle(m)
-		case <-tick.C():
+		case 1:
+			c.handle(val.(network.Message))
+		case 2:
 			c.tryPropose()
 			c.checkRoundTimeout()
 		}

@@ -108,9 +108,9 @@ type Engine struct {
 	voted     map[uint64]bool // rounds this node voted in
 	running   bool
 
-	events chan network.Message
-	stop   chan struct{}
-	done   chan struct{}
+	events *clock.Mailbox[network.Message]
+	stop   *clock.Gate
+	done   *clock.Gate
 }
 
 var _ consensus.Engine = (*Engine)(nil)
@@ -128,9 +128,9 @@ func New(cfg Config) *Engine {
 		timeouts:  make(map[uint64]map[string]bool),
 		committed: make(map[crypto.Hash]bool),
 		voted:     make(map[uint64]bool),
-		events:    make(chan network.Message, 8192),
-		stop:      make(chan struct{}),
-		done:      make(chan struct{}),
+		events:    clock.NewMailbox[network.Message](cfg.Clock, 8192),
+		stop:      clock.NewGate(cfg.Clock),
+		done:      clock.NewGate(cfg.Clock),
 	}
 	return e
 }
@@ -146,11 +146,9 @@ func (e *Engine) Start() error {
 	e.mu.Unlock()
 
 	e.cfg.Transport.Register(e.cfg.ID, func(m network.Message) {
-		select {
-		case e.events <- m:
-		case <-e.stop:
-		}
+		e.events.Send(m, e.stop)
 	})
+	clock.Fork(e.cfg.Clock, 1)
 	go e.run()
 	return nil
 }
@@ -164,8 +162,8 @@ func (e *Engine) Stop() {
 	}
 	e.running = false
 	e.mu.Unlock()
-	close(e.stop)
-	<-e.done
+	e.stop.Close()
+	clock.Await(e.cfg.Clock, e.done)
 	e.cfg.Transport.Unregister(e.cfg.ID)
 }
 
@@ -219,20 +217,22 @@ func blockID(parent crypto.Hash, round uint64, proposer string, payload any) cry
 }
 
 func (e *Engine) run() {
-	defer close(e.done)
+	h := clock.RegisterForked(e.cfg.Clock, "diembft/"+e.cfg.ID)
+	defer h.Close()
+	defer e.done.Close()
 	propose := e.cfg.Clock.NewTicker(e.cfg.RoundInterval)
 	defer propose.Stop()
 	lastProgress := e.cfg.Clock.Now()
 
 	for {
-		select {
-		case <-e.stop:
+		switch i, val, _ := clock.Await(e.cfg.Clock, e.stop, e.events, propose); i {
+		case 0:
 			return
-		case m := <-e.events:
-			if e.handle(m) {
+		case 1:
+			if e.handle(val.(network.Message)) {
 				lastProgress = e.cfg.Clock.Now()
 			}
-		case <-propose.C():
+		case 2:
 			e.tryPropose()
 			if e.cfg.Clock.Since(lastProgress) > e.cfg.RoundTimeout {
 				e.fireTimeout()

@@ -94,9 +94,9 @@ type Engine struct {
 	running  bool
 	produced uint64 // blocks produced by this witness
 
-	events chan network.Message
-	stop   chan struct{}
-	done   chan struct{}
+	events *clock.Mailbox[network.Message]
+	stop   *clock.Gate
+	done   *clock.Gate
 }
 
 var _ consensus.Engine = (*Engine)(nil)
@@ -107,9 +107,9 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		cfg:    cfg,
 		seen:   make(map[crypto.Hash]bool),
-		events: make(chan network.Message, 8192),
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		events: clock.NewMailbox[network.Message](cfg.Clock, 8192),
+		stop:   clock.NewGate(cfg.Clock),
+		done:   clock.NewGate(cfg.Clock),
 	}
 }
 
@@ -124,11 +124,9 @@ func (e *Engine) Start() error {
 	e.mu.Unlock()
 
 	e.cfg.Transport.Register(e.cfg.ID, func(m network.Message) {
-		select {
-		case e.events <- m:
-		case <-e.stop:
-		}
+		e.events.Send(m, e.stop)
 	})
+	clock.Fork(e.cfg.Clock, 1)
 	go e.run()
 	return nil
 }
@@ -142,8 +140,8 @@ func (e *Engine) Stop() {
 	}
 	e.running = false
 	e.mu.Unlock()
-	close(e.stop)
-	<-e.done
+	e.stop.Close()
+	clock.Await(e.cfg.Clock, e.done)
 	e.cfg.Transport.Unregister(e.cfg.ID)
 }
 
@@ -200,16 +198,18 @@ func (e *Engine) witnessForSlot(slot uint64) string {
 }
 
 func (e *Engine) run() {
-	defer close(e.done)
+	h := clock.RegisterForked(e.cfg.Clock, "dpos/"+e.cfg.ID)
+	defer h.Close()
+	defer e.done.Close()
 	tick := e.cfg.Clock.NewTicker(e.cfg.BlockInterval)
 	defer tick.Stop()
 	for {
-		select {
-		case <-e.stop:
+		switch i, val, _ := clock.Await(e.cfg.Clock, e.stop, e.events, tick); i {
+		case 0:
 			return
-		case m := <-e.events:
-			e.handle(m)
-		case <-tick.C():
+		case 1:
+			e.handle(val.(network.Message))
+		case 2:
 			e.maybeProduce()
 		}
 	}

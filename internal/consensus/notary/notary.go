@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/crypto"
 )
 
@@ -86,10 +87,13 @@ type Signer func(party string, txID crypto.Hash) (crypto.Signature, error)
 // CollectSignatures gathers signatures from all parties using the given
 // mode. In Serial mode the total latency is the sum of per-party latencies;
 // in Parallel mode it is the maximum. Any failure aborts the collection.
-func CollectSignatures(mode SigningMode, parties []string, txID crypto.Hash, sign Signer) ([]crypto.Signature, error) {
+// Parallel collection runs each party's signing on its own clock actor, so
+// under virtual time the concurrent waits overlap exactly as they would on
+// the wall clock.
+func CollectSignatures(clk clock.Clock, mode SigningMode, parties []string, txID crypto.Hash, sign Signer) ([]crypto.Signature, error) {
 	switch mode {
 	case Parallel:
-		return collectParallel(parties, txID, sign)
+		return collectParallel(clk, parties, txID, sign)
 	default:
 		return collectSerial(parties, txID, sign)
 	}
@@ -107,14 +111,19 @@ func collectSerial(parties []string, txID crypto.Hash, sign Signer) ([]crypto.Si
 	return sigs, nil
 }
 
-func collectParallel(parties []string, txID crypto.Hash, sign Signer) ([]crypto.Signature, error) {
+func collectParallel(clk clock.Clock, parties []string, txID crypto.Hash, sign Signer) ([]crypto.Signature, error) {
 	collected := make([]crypto.Signature, len(parties))
 	errs := make([]error, len(parties))
-	var wg sync.WaitGroup
+	wg := clock.NewGroup(clk)
+	clock.Fork(clk, len(parties))
 	for i, p := range parties {
 		i, p := i, p
 		wg.Add(1)
 		go func() {
+			// The txID prefix keeps actor names unique when several flows
+			// collect from the same counterparties concurrently.
+			h := clock.RegisterForked(clk, "notary-sign/"+txID.Short()+"/"+p)
+			defer h.Close()
 			defer wg.Done()
 			collected[i], errs[i] = sign(p, txID)
 		}()

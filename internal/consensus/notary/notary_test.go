@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/chain"
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/crypto"
 )
 
@@ -98,7 +99,7 @@ func TestCollectSignaturesSerial(t *testing.T) {
 	parties := []string{"node-0", "node-1", "node-2", "node-3"}
 	var order []string
 	var mu sync.Mutex
-	sigs, err := CollectSignatures(Serial, parties, crypto.SumString("tx"),
+	sigs, err := CollectSignatures(clock.New(), Serial, parties, crypto.SumString("tx"),
 		func(p string, txID crypto.Hash) (crypto.Signature, error) {
 			mu.Lock()
 			order = append(order, p)
@@ -125,7 +126,7 @@ func TestCollectSignaturesSerialLatencyIsSum(t *testing.T) {
 	parties := []string{"a", "b", "c", "d"}
 	perParty := 20 * time.Millisecond
 	start := time.Now()
-	_, err := CollectSignatures(Serial, parties, crypto.SumString("tx"),
+	_, err := CollectSignatures(clock.New(), Serial, parties, crypto.SumString("tx"),
 		func(p string, _ crypto.Hash) (crypto.Signature, error) {
 			time.Sleep(perParty)
 			return crypto.Signature{Signer: p}, nil
@@ -142,7 +143,7 @@ func TestCollectSignaturesParallelLatencyIsMax(t *testing.T) {
 	parties := []string{"a", "b", "c", "d"}
 	perParty := 30 * time.Millisecond
 	start := time.Now()
-	sigs, err := CollectSignatures(Parallel, parties, crypto.SumString("tx"),
+	sigs, err := CollectSignatures(clock.New(), Parallel, parties, crypto.SumString("tx"),
 		func(p string, _ crypto.Hash) (crypto.Signature, error) {
 			time.Sleep(perParty)
 			return crypto.Signature{Signer: p}, nil
@@ -167,7 +168,7 @@ func TestCollectSignaturesParallelLatencyIsMax(t *testing.T) {
 func TestCollectSignaturesPropagatesError(t *testing.T) {
 	wantErr := errors.New("party refused")
 	for _, mode := range []SigningMode{Serial, Parallel} {
-		_, err := CollectSignatures(mode, []string{"a", "b"}, crypto.SumString("tx"),
+		_, err := CollectSignatures(clock.New(), mode, []string{"a", "b"}, crypto.SumString("tx"),
 			func(p string, _ crypto.Hash) (crypto.Signature, error) {
 				if p == "b" {
 					return crypto.Signature{}, wantErr

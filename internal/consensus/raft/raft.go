@@ -135,9 +135,9 @@ type Node struct {
 
 	applyMu sync.Mutex // serializes OnDecide callbacks in log order
 
-	events chan network.Message
-	stop   chan struct{}
-	done   chan struct{}
+	events *clock.Mailbox[network.Message]
+	stop   *clock.Gate
+	done   *clock.Gate
 }
 
 var _ consensus.Engine = (*Node)(nil)
@@ -153,9 +153,9 @@ func New(cfg Config) *Node {
 		votes:      make(map[string]bool),
 		nextIndex:  make(map[string]int),
 		matchIndex: make(map[string]int),
-		events:     make(chan network.Message, 4096),
-		stop:       make(chan struct{}),
-		done:       make(chan struct{}),
+		events:     clock.NewMailbox[network.Message](cfg.Clock, 8192),
+		stop:       clock.NewGate(cfg.Clock),
+		done:       clock.NewGate(cfg.Clock),
 	}
 }
 
@@ -171,11 +171,9 @@ func (n *Node) Start() error {
 	n.mu.Unlock()
 
 	n.cfg.Transport.Register(n.cfg.ID, func(m network.Message) {
-		select {
-		case n.events <- m:
-		case <-n.stop:
-		}
+		n.events.Send(m, n.stop)
 	})
+	clock.Fork(n.cfg.Clock, 1)
 	go n.run()
 	return nil
 }
@@ -189,8 +187,8 @@ func (n *Node) Stop() {
 	}
 	n.running = false
 	n.mu.Unlock()
-	close(n.stop)
-	<-n.done
+	n.stop.Close()
+	clock.Await(n.cfg.Clock, n.done)
 	n.cfg.Transport.Unregister(n.cfg.ID)
 }
 
@@ -247,18 +245,20 @@ func (n *Node) CommitIndex() int {
 }
 
 func (n *Node) run() {
-	defer close(n.done)
+	h := clock.RegisterForked(n.cfg.Clock, "raft/"+n.cfg.ID)
+	defer h.Close()
+	defer n.done.Close()
 	tick := n.cfg.Clock.NewTicker(n.cfg.HeartbeatInterval)
 	defer tick.Stop()
 	electionDeadline := n.randomElectionTimeout()
 
 	for {
-		select {
-		case <-n.stop:
+		switch i, val, _ := clock.Await(n.cfg.Clock, n.stop, n.events, tick); i {
+		case 0:
 			return
-		case m := <-n.events:
-			n.handle(m)
-		case <-tick.C():
+		case 1:
+			n.handle(val.(network.Message))
+		case 2:
 			n.mu.Lock()
 			role := n.role
 			idle := n.cfg.Clock.Since(n.lastHeard)

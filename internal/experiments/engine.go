@@ -6,6 +6,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/faults"
 	"github.com/coconut-bench/coconut/internal/systems"
@@ -67,10 +68,28 @@ type OutcomeRow struct {
 }
 
 // Outcome is a scenario's full measured result: the spec it ran and one
-// row per cell, in deterministic expansion order.
+// row per cell, in deterministic expansion order. Virtual-time runs also
+// carry one CellTiming per cell.
 type Outcome struct {
 	Scenario Scenario     `json:"scenario"`
 	Rows     []OutcomeRow `json:"rows"`
+	// Timings reports per-cell simulated-versus-wall time when the
+	// scenario ran under the virtual clock; empty on real-time runs.
+	// The entries are wall-clock measurements, so they vary run to run
+	// even when the Rows are bit-identical.
+	Timings []CellTiming `json:"timings,omitempty"`
+}
+
+// CellTiming is one virtual-time cell's speed accounting: how many
+// simulated seconds elapsed across the cell's clocks per wall-clock
+// second spent computing them.
+type CellTiming struct {
+	Cell        string  `json:"cell"`
+	SimSeconds  float64 `json:"simSeconds"`
+	WallSeconds float64 `json:"wallSeconds"`
+	// Speedup is SimSeconds/WallSeconds: how much faster than real time
+	// the cell ran.
+	Speedup float64 `json:"speedup"`
 }
 
 // cellSpec is one fully resolved unit of work.
@@ -103,6 +122,9 @@ func (c cellSpec) label() string {
 // streams per-cell events. ctx cancels between cells.
 func Run(ctx context.Context, sc Scenario, o Options) (*Outcome, error) {
 	o.fill()
+	if sc.Time != "" {
+		o.Time = sc.Time
+	}
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
@@ -119,9 +141,22 @@ func Run(ctx context.Context, sc Scenario, o Options) (*Outcome, error) {
 		if o.Progress != nil {
 			o.Progress(Progress{Scenario: sc.Name, Cell: cell.label(), System: cell.system, Index: i + 1, Total: len(cells)})
 		}
+		if o.virtualTime() {
+			// A fresh meter per cell so Timings isolate each cell's clocks.
+			o.meter = &clockMeter{}
+		}
+		w0 := clock.Walltime()
 		res, err := runCell(cell, sc, o)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: scenario %q cell %s: %w", sc.Name, cell.label(), err)
+		}
+		if o.virtualTime() {
+			wall := clock.Walltime().Sub(w0).Seconds()
+			t := CellTiming{Cell: cell.label(), SimSeconds: o.meter.simSeconds(), WallSeconds: wall}
+			if wall > 0 {
+				t.Speedup = t.SimSeconds / wall
+			}
+			out.Timings = append(out.Timings, t)
 		}
 		row := OutcomeRow{
 			System:    cell.system,
@@ -380,6 +415,7 @@ func runUnitCell(system string, bench coconut.BenchmarkName, p Params, o Options
 	results, err := coconut.Run(coconut.RunConfig{
 		SystemName:      system,
 		NewDriver:       newDriver,
+		NewClock:        o.newClockFn(),
 		Unit:            unit,
 		Clients:         scenarioClients,
 		RateLimit:       perClientRL,
@@ -428,6 +464,7 @@ func runWorkloadCell(system string, spec *workload.Spec, o Options, threads, rat
 	results, err := coconut.Run(coconut.RunConfig{
 		SystemName:      system,
 		NewDriver:       newDriver,
+		NewClock:        o.newClockFn(),
 		Workload:        spec,
 		Clients:         scenarioClients,
 		RateLimit:       perClientRL,

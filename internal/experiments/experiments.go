@@ -22,6 +22,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/clock"
@@ -58,10 +59,69 @@ type Options struct {
 	Arrival string
 	// Seed drives deterministic randomness.
 	Seed int64
+	// Time selects the run's clock: "" or "real" executes on the wall
+	// clock, "virtual" on the auto-advancing simulated clock, which makes
+	// every cell CPU-bound and bit-deterministic at a fixed seed.
+	Time string
 	// Progress, when set, streams one event per scenario cell start and
 	// completion from the engine (Run). It replaces the io.Writer
 	// side-channels the pre-scenario runners threaded through every call.
 	Progress func(Progress) `json:"-"`
+
+	// meter, when attached by the engine, collects every clock the run
+	// constructs so the cell's consumed simulation time can be summed.
+	meter *clockMeter
+}
+
+// ValidTime reports whether a time-axis value is recognised.
+func ValidTime(t string) bool { return t == "" || t == "real" || t == "virtual" }
+
+// virtualTime reports whether the run executes on the auto-advancing clock.
+func (o Options) virtualTime() bool { return o.Time == "virtual" }
+
+// newClockFn returns the per-repetition clock factory: a fresh wall clock
+// in real mode, a fresh AutoVirtual in virtual mode. Fresh-per-repetition
+// matters even on the wall clock — a repetition must never inherit another
+// repetition's timer state.
+func (o Options) newClockFn() func() clock.Clock {
+	virtual := o.virtualTime()
+	m := o.meter
+	return func() clock.Clock {
+		var c clock.Clock
+		if virtual {
+			c = clock.NewAutoVirtual()
+		} else {
+			c = clock.New()
+		}
+		if m != nil {
+			m.add(c)
+		}
+		return c
+	}
+}
+
+// clockMeter accumulates the clocks a cell constructs; summing each clock's
+// advance past the simulation epoch yields the cell's total simulated time.
+type clockMeter struct {
+	mu   sync.Mutex
+	clks []clock.Clock
+}
+
+func (m *clockMeter) add(c clock.Clock) {
+	m.mu.Lock()
+	m.clks = append(m.clks, c)
+	m.mu.Unlock()
+}
+
+// simSeconds sums the simulated seconds every recorded clock has advanced.
+func (m *clockMeter) simSeconds() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total float64
+	for _, c := range m.clks {
+		total += c.Now().Sub(clock.SimEpoch).Seconds()
+	}
+	return total
 }
 
 // arrivalSchedule resolves the named schedule; an unknown name is an error
@@ -166,17 +226,19 @@ func (p Params) Labels() map[string]string {
 func itoa(v int) string { return fmt.Sprintf("%d", v) }
 
 // NewDriverFunc builds a fresh driver for one system under the given
-// parameters and options.
-func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, error) {
+// parameters and options. The returned constructor takes the time source
+// the driver should live on — the runner hands it each repetition's clock,
+// so no two repetitions (and no two concurrently running cells) share timer
+// state.
+func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) systems.Driver, error) {
 	o.fill()
-	clk := clock.New()
 	switch system {
 	case systems.NameFabric:
 		mm := p.MM
 		if mm == 0 {
 			mm = 500
 		}
-		return func() systems.Driver {
+		return func(clk clock.Clock) systems.Driver {
 			var tr *network.Transport
 			if o.Netem {
 				tr = network.NewTransport(clk, o.latency())
@@ -213,7 +275,7 @@ func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, e
 		if maxBlockTxs < 1 {
 			maxBlockTxs = 1
 		}
-		return func() systems.Driver {
+		return func(clk clock.Clock) systems.Driver {
 			var tr *network.Transport
 			if o.Netem {
 				tr = network.NewTransport(clk, o.latency())
@@ -244,7 +306,7 @@ func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, e
 		if scaled := o.paperDur(float64(p.PD)); scaled > pd {
 			pd = scaled
 		}
-		return func() systems.Driver {
+		return func(clk clock.Clock) systems.Driver {
 			var tr *network.Transport
 			if o.Netem {
 				tr = network.NewTransport(clk, o.latency())
@@ -272,7 +334,7 @@ func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, e
 		if maxBlock < 6 {
 			maxBlock = 6
 		}
-		return func() systems.Driver {
+		return func(clk clock.Clock) systems.Driver {
 			var tr *network.Transport
 			if o.Netem {
 				tr = network.NewTransport(clk, o.latency())
@@ -305,7 +367,7 @@ func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, e
 		if window < 2 {
 			window = 2
 		}
-		return func() systems.Driver {
+		return func(clk clock.Clock) systems.Driver {
 			var tr *network.Transport
 			if o.Netem {
 				tr = network.NewTransport(clk, o.latency())
@@ -325,7 +387,7 @@ func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, e
 		// its processing costs stay in real time rather than scaling with
 		// the clock: serial signing of 3 counterparties at 180ms each
 		// yields the paper's ~7 MTPS DoNothing capacity on 4 nodes.
-		return func() systems.Driver {
+		return func(clk clock.Clock) systems.Driver {
 			return corda.NewOS(corda.Config{
 				Nodes:          o.Nodes,
 				SignProcessing: 180 * time.Millisecond,
@@ -340,7 +402,7 @@ func NewDriverFunc(system string, p Params, o Options) (func() systems.Driver, e
 	case systems.NameCordaEnt:
 		// Parallel signing (one 500ms hop) with 8 flow workers per node
 		// yields the paper's ~64 MTPS DoNothing capacity on 4 nodes.
-		return func() systems.Driver {
+		return func(clk clock.Clock) systems.Driver {
 			return corda.NewEnterprise(corda.Config{
 				Nodes:          o.Nodes,
 				SignProcessing: 500 * time.Millisecond,

@@ -47,8 +47,8 @@ type Injector struct {
 
 	startOnce sync.Once
 	stopOnce  sync.Once
-	stop      chan struct{}
-	done      chan struct{}
+	stop      *clock.Gate
+	done      *clock.Gate
 }
 
 // NewInjector builds an injector for the schedule (applied in time order)
@@ -62,8 +62,8 @@ func NewInjector(drv systems.Driver, sched Schedule, clk clock.Clock) *Injector 
 		clk:     clk,
 		sched:   sched.sorted(),
 		crashed: make(map[int]bool),
-		stop:    make(chan struct{}),
-		done:    make(chan struct{}),
+		stop:    clock.NewGate(clk),
+		done:    clock.NewGate(clk),
 	}
 }
 
@@ -71,6 +71,7 @@ func NewInjector(drv systems.Driver, sched Schedule, clk clock.Clock) *Injector 
 // call. Start is idempotent.
 func (in *Injector) Start() {
 	in.startOnce.Do(func() {
+		clock.Fork(in.clk, 1)
 		go in.run(in.clk.Now())
 	})
 }
@@ -80,28 +81,26 @@ func (in *Injector) Start() {
 // degradations clear, so a benchmark phase always hands a healthy system
 // to the next one. Stop is idempotent and safe without Start.
 func (in *Injector) Stop() {
-	in.stopOnce.Do(func() { close(in.stop) })
-	in.startOnce.Do(func() { close(in.done) }) // never started: nothing to wait for
-	<-in.done
+	in.stopOnce.Do(func() { in.stop.Close() })
+	in.startOnce.Do(func() { in.done.Close() }) // never started: nothing to wait for
+	clock.Await(in.clk, in.done)
 	in.restoreAll()
 }
 
 func (in *Injector) run(start time.Time) {
-	defer close(in.done)
+	h := clock.RegisterForked(in.clk, "fault-injector")
+	defer h.Close()
+	defer in.done.Close()
 	for _, ev := range in.sched {
 		if wait := ev.At - in.clk.Since(start); wait > 0 {
 			t := in.clk.NewTimer(wait)
-			select {
-			case <-in.stop:
+			if i, _, _ := clock.Await(in.clk, in.stop, t); i == 0 {
 				t.Stop()
 				return
-			case <-t.C():
 			}
 		}
-		select {
-		case <-in.stop:
+		if in.stop.Closed() {
 			return
-		default:
 		}
 		in.Apply(ev)
 	}

@@ -60,8 +60,8 @@ type Transport struct {
 	links sync.Map   // linkKey -> *linkState
 
 	shards []*shard
-	wg     sync.WaitGroup
-	stopCh chan struct{}
+	wg     *clock.Group
+	stop   *clock.Gate
 }
 
 // fabricState is the immutable topology/fault snapshot. Mutators clone it
@@ -140,7 +140,8 @@ func NewTransport(clk clock.Clock, latency LatencyModel) *Transport {
 		latency: latency,
 		t0:      clk.Now(),
 		seed:    0x10551, // deterministic loss draws
-		stopCh:  make(chan struct{}),
+		stop:    clock.NewGate(clk),
+		wg:      clock.NewGroup(clk),
 	}
 	t.state.Store(&fabricState{
 		endpoints: make(map[string]*endpoint),
@@ -159,10 +160,11 @@ func NewTransport(clk clock.Clock, latency LatencyModel) *Transport {
 		shards <<= 1
 	}
 	t.shards = make([]*shard, shards)
+	clock.Fork(clk, shards)
 	for i := range t.shards {
-		t.shards[i] = newShard()
+		t.shards[i] = newShard(clk)
 		t.wg.Add(1)
-		go t.worker(t.shards[i])
+		go t.worker(i, t.shards[i])
 	}
 	return t
 }
@@ -439,6 +441,6 @@ func (t *Transport) Stop() {
 		degraded:  make(map[linkKey]Degradation),
 	})
 	t.mu.Unlock()
-	close(t.stopCh)
+	t.stop.Close()
 	t.wg.Wait()
 }

@@ -5,9 +5,12 @@ import (
 	"math"
 	"math/rand"
 	"slices"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"github.com/coconut-bench/coconut/internal/clock"
 )
 
 // The delivery scheduler is a sharded hashed timing wheel (calendar queue).
@@ -76,14 +79,14 @@ type shard struct {
 	far    farHeap   // beyond-horizon overflow
 	wheelN int       // items resident in slots
 	wakeAt int64     // see invariant above
-	notify chan struct{}
+	notify *clock.Mailbox[struct{}]
 }
 
-func newShard() *shard {
+func newShard(clk clock.Clock) *shard {
 	return &shard{
 		slots:  make([][]*item, wheelSlots),
 		wakeAt: math.MinInt64,
-		notify: make(chan struct{}, 1),
+		notify: clock.NewMailbox[struct{}](clk, 1),
 	}
 }
 
@@ -116,10 +119,7 @@ func (sh *shard) enqueue(it *item, nowN int64) {
 	needWake := it.readyNanos < sh.wakeAt
 	sh.mu.Unlock()
 	if needWake {
-		select {
-		case sh.notify <- struct{}{}:
-		default:
-		}
+		sh.notify.TrySend(struct{}{})
 	}
 }
 
@@ -201,7 +201,9 @@ func (sh *shard) collect(nowN int64, batch []*item) ([]*item, int64) {
 
 // worker is a shard's delivery loop: collect due items, deliver them in
 // timestamp order, sleep until the next due time or an earlier enqueue.
-func (t *Transport) worker(sh *shard) {
+func (t *Transport) worker(i int, sh *shard) {
+	h := clock.RegisterForked(t.clk, "net/shard-"+strconv.Itoa(i))
+	defer h.Close()
 	defer t.wg.Done()
 	var batch []*item
 	for {
@@ -213,9 +215,7 @@ func (t *Transport) worker(sh *shard) {
 			continue
 		}
 		if next == math.MaxInt64 {
-			select {
-			case <-sh.notify:
-			case <-t.stopCh:
+			if idx, _, _ := clock.Await(t.clk, t.stop, sh.notify); idx == 0 {
 				return
 			}
 			continue
@@ -225,12 +225,11 @@ func (t *Transport) worker(sh *shard) {
 		// (the duration would be re-based on the advanced clock).
 		// NewTimerAt fires immediately when the deadline already passed.
 		timer := t.clk.NewTimerAt(t.t0.Add(time.Duration(next)))
-		select {
-		case <-timer.C():
-		case <-sh.notify:
+		idx, _, _ := clock.Await(t.clk, t.stop, sh.notify, timer)
+		if idx != 2 {
 			timer.Stop()
-		case <-t.stopCh:
-			timer.Stop()
+		}
+		if idx == 0 {
 			return
 		}
 	}

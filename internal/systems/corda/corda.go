@@ -150,7 +150,7 @@ type node struct {
 	id      string
 	hubNode *systems.HubNode
 	vault   *chain.Vault
-	queue   chan flowJob
+	queue   *clock.Mailbox[flowJob]
 	gate    systems.NodeGate
 }
 
@@ -170,8 +170,8 @@ type Network struct {
 	failed    uint64            // flows lost to execution/notary failure
 	conflicts map[string]uint64 // failed flows by canonical abort code
 
-	wg   sync.WaitGroup
-	stop chan struct{}
+	wg   *clock.Group
+	stop *clock.Gate
 }
 
 var _ systems.Driver = (*Network)(nil)
@@ -185,7 +185,8 @@ func New(cfg Config) *Network {
 		notary:    notary.NewService("corda-notary"),
 		signers:   make(map[string]*crypto.Identity, cfg.Nodes),
 		conflicts: make(map[string]uint64),
-		stop:      make(chan struct{}),
+		wg:        clock.NewGroup(cfg.Clock),
+		stop:      clock.NewGate(cfg.Clock),
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := fmt.Sprintf("corda-node-%d", i)
@@ -193,7 +194,7 @@ func New(cfg Config) *Network {
 			id:      id,
 			hubNode: n.hub.Node(id),
 			vault:   chain.NewVault(),
-			queue:   make(chan flowJob, cfg.QueueDepth),
+			queue:   clock.NewMailbox[flowJob](cfg.Clock, cfg.QueueDepth),
 		})
 		n.signers[id] = crypto.NewIdentity(id)
 	}
@@ -231,18 +232,21 @@ func (n *Network) Start() error {
 	n.running = true
 	n.mu.Unlock()
 
+	clock.Fork(n.cfg.Clock, len(n.nodes)*n.cfg.FlowWorkers)
 	for _, nd := range n.nodes {
 		for w := 0; w < n.cfg.FlowWorkers; w++ {
-			nd := nd
+			nd, w := nd, w
 			n.wg.Add(1)
 			go func() {
+				h := clock.RegisterForked(n.cfg.Clock, "corda/"+nd.id+"/w"+strconv.Itoa(w))
+				defer h.Close()
 				defer n.wg.Done()
 				for {
-					select {
-					case <-n.stop:
+					switch i, val, _ := clock.Await(n.cfg.Clock, n.stop, nd.queue); i {
+					case 0:
 						return
-					case job := <-nd.queue:
-						n.runFlow(nd, job.tx)
+					case 1:
+						n.runFlow(nd, val.(flowJob).tx)
 					}
 				}
 			}()
@@ -260,7 +264,7 @@ func (n *Network) Stop() {
 	}
 	n.running = false
 	n.mu.Unlock()
-	close(n.stop)
+	n.stop.Close()
 	n.wg.Wait()
 }
 
@@ -278,15 +282,13 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 	if nd.gate.Down() {
 		return systems.ErrNodeDown // the RPC connection is refused
 	}
-	select {
-	case nd.queue <- flowJob{tx: tx}:
+	if nd.queue.TrySend(flowJob{tx: tx}) {
 		return nil
-	default:
-		n.mu.Lock()
-		n.dropped++
-		n.mu.Unlock()
-		return nil // silent: the RPC accepted the flow, the node shed it
 	}
+	n.mu.Lock()
+	n.dropped++
+	n.mu.Unlock()
+	return nil // silent: the RPC accepted the flow, the node shed it
 }
 
 // runFlow executes one flow end to end on the entry node.
@@ -324,7 +326,7 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		mode = notary.Parallel
 	}
 	txID := flowTxID(tx, utx)
-	_, err = notary.CollectSignatures(mode, parties, txID, func(party string, id crypto.Hash) (crypto.Signature, error) {
+	_, err = notary.CollectSignatures(n.cfg.Clock, mode, parties, txID, func(party string, id crypto.Hash) (crypto.Signature, error) {
 		// Corda requires every counterparty's signature: a crashed signer
 		// fails the whole flow, so one node outage halts all write flows —
 		// the flip side of the paper's §6 observation that requiring fewer

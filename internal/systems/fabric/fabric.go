@@ -134,8 +134,8 @@ type Network struct {
 
 	mu      sync.Mutex
 	running bool
-	stop    chan struct{}
-	done    chan struct{}
+	stop    *clock.Gate
+	done    *clock.Gate
 }
 
 var _ systems.Driver = (*Network)(nil)
@@ -146,8 +146,8 @@ func New(cfg Config) *Network {
 	n := &Network{
 		cfg:  cfg,
 		hub:  systems.NewHub(cfg.Peers),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		stop: clock.NewGate(cfg.Clock),
+		done: clock.NewGate(cfg.Clock),
 	}
 	if cfg.Transport == nil {
 		n.transport = network.NewTransport(cfg.Clock, nil)
@@ -230,6 +230,7 @@ func (n *Network) Start() error {
 			return fmt.Errorf("start orderer %s: %w", o.id, err)
 		}
 	}
+	clock.Fork(n.cfg.Clock, 1)
 	go n.cutLoop()
 	return nil
 }
@@ -243,8 +244,8 @@ func (n *Network) Stop() {
 	}
 	n.running = false
 	n.mu.Unlock()
-	close(n.stop)
-	<-n.done
+	n.stop.Close()
+	clock.Await(n.cfg.Clock, n.done)
 	if n.broker != nil {
 		n.broker.Stop()
 	}
@@ -316,7 +317,9 @@ func (r *rwRecorder) Put(key, value string) { r.rw.RecordWrite(key, value) }
 // cutLoop drains orderer ingress queues into blocks, honouring
 // MaxMessageCount and BatchTimeout, and submits each cut batch to Raft.
 func (n *Network) cutLoop() {
-	defer close(n.done)
+	h := clock.RegisterForked(n.cfg.Clock, "fabric/cutter")
+	defer h.Close()
+	defer n.done.Close()
 	// Poll at a fraction of the batch timeout for responsive cutting, but
 	// never slower than 10ms so MaxMessageCount cuts stay prompt even with
 	// a long batch timeout.
@@ -329,14 +332,20 @@ func (n *Network) cutLoop() {
 	lastCut := n.cfg.Clock.Now()
 
 	for {
-		select {
-		case <-n.stop:
+		switch i, _, _ := clock.Await(n.cfg.Clock, n.stop, tick); i {
+		case 0:
 			return
-		case <-tick.C():
+		case 1:
 			timedOut := n.cfg.Clock.Since(lastCut) >= n.cfg.BatchTimeout
 			for _, o := range n.orderers {
 				for o.ingress.Len() >= n.cfg.MaxMessageCount {
-					n.cut(o, o.ingress.Take(n.cfg.MaxMessageCount))
+					// A failed cut (no Raft leader yet) puts the envelopes
+					// back; retrying before the next tick would spin without
+					// ever yielding, which under the virtual clock starves
+					// the very election the retry is waiting on.
+					if !n.cut(o, o.ingress.Take(n.cfg.MaxMessageCount)) {
+						break
+					}
 					lastCut = n.cfg.Clock.Now()
 				}
 				if timedOut {
@@ -353,7 +362,9 @@ func (n *Network) cutLoop() {
 	}
 }
 
-func (n *Network) cut(o *orderer, envs []envelope) {
+// cut submits one batch to the ordering service, reporting whether it was
+// accepted.
+func (n *Network) cut(o *orderer, envs []envelope) bool {
 	batch := cutBatch{Envelopes: envs, CutAt: n.cfg.Clock.Now(), Cutter: o.id}
 	var err error
 	if n.broker != nil {
@@ -368,7 +379,9 @@ func (n *Network) cut(o *orderer, envs []envelope) {
 		for _, env := range envs {
 			_ = o.ingress.Add(env)
 		}
+		return false
 	}
+	return true
 }
 
 // makeDecideFunc returns the commit pipeline for orderer i. Only orderer 0's

@@ -36,9 +36,9 @@ type kafkaBroker struct {
 	seq     uint64
 	queue   []any
 	running bool
-	kick    chan struct{}
-	stop    chan struct{}
-	done    chan struct{}
+	kick    *clock.Mailbox[struct{}]
+	stop    *clock.Gate
+	done    *clock.Gate
 }
 
 var _ consensus.Engine = (*kafkaBroker)(nil)
@@ -49,9 +49,9 @@ func newKafkaBroker(clk clock.Clock, overhead time.Duration, onDecide consensus.
 		clk:      clk,
 		overhead: overhead,
 		onDecide: onDecide,
-		kick:     make(chan struct{}, 1),
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+		kick:     clock.NewMailbox[struct{}](clk, 1),
+		stop:     clock.NewGate(clk),
+		done:     clock.NewGate(clk),
 	}
 }
 
@@ -64,6 +64,7 @@ func (k *kafkaBroker) Start() error {
 	}
 	k.running = true
 	k.mu.Unlock()
+	clock.Fork(k.clk, 1)
 	go k.run()
 	return nil
 }
@@ -77,8 +78,8 @@ func (k *kafkaBroker) Stop() {
 	}
 	k.running = false
 	k.mu.Unlock()
-	close(k.stop)
-	<-k.done
+	k.stop.Close()
+	clock.Await(k.clk, k.done)
 }
 
 // Submit implements consensus.Engine: the payload is appended to the log.
@@ -92,20 +93,17 @@ func (k *kafkaBroker) Submit(payload any) error {
 	}
 	k.queue = append(k.queue, payload)
 	k.mu.Unlock()
-	select {
-	case k.kick <- struct{}{}:
-	default:
-	}
+	k.kick.TrySend(struct{}{})
 	return nil
 }
 
 func (k *kafkaBroker) run() {
-	defer close(k.done)
+	h := clock.RegisterForked(k.clk, "fabric/kafka-broker")
+	defer h.Close()
+	defer k.done.Close()
 	for {
-		select {
-		case <-k.stop:
+		if i, _, _ := clock.Await(k.clk, k.stop, k.kick); i == 0 {
 			return
-		case <-k.kick:
 		}
 		for {
 			k.mu.Lock()
@@ -120,10 +118,11 @@ func (k *kafkaBroker) run() {
 			k.mu.Unlock()
 
 			if k.overhead > 0 {
-				// The broker round trip per sequenced batch.
-				select {
-				case <-k.clk.After(k.overhead):
-				case <-k.stop:
+				// The broker round trip per sequenced batch. A stopped timer
+				// is explicitly drained so no waiter leaks past teardown.
+				t := k.clk.NewTimer(k.overhead)
+				if i, _, _ := clock.Await(k.clk, k.stop, t); i == 0 {
+					t.Stop()
 					return
 				}
 			}

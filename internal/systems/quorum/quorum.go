@@ -104,8 +104,8 @@ type Network struct {
 
 	mu      sync.Mutex
 	running bool
-	stop    chan struct{}
-	done    chan struct{}
+	stop    *clock.Gate
+	done    *clock.Gate
 }
 
 var _ systems.Driver = (*Network)(nil)
@@ -116,8 +116,8 @@ func New(cfg Config) *Network {
 	n := &Network{
 		cfg:  cfg,
 		hub:  systems.NewHub(cfg.Validators),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		stop: clock.NewGate(cfg.Clock),
+		done: clock.NewGate(cfg.Clock),
 	}
 	if cfg.Transport == nil {
 		n.transport = network.NewTransport(cfg.Clock, nil)
@@ -204,6 +204,7 @@ func (n *Network) Start() error {
 			return fmt.Errorf("start validator %d: %w", i, err)
 		}
 	}
+	clock.Fork(n.cfg.Clock, 1)
 	go n.produceLoop()
 	return nil
 }
@@ -217,8 +218,8 @@ func (n *Network) Stop() {
 	}
 	n.running = false
 	n.mu.Unlock()
-	close(n.stop)
-	<-n.done
+	n.stop.Close()
+	clock.Await(n.cfg.Clock, n.done)
 	for _, v := range n.validators {
 		v.engine.Stop()
 		n.transport.Unregister(gossipEndpoint(v.id))
@@ -271,14 +272,16 @@ func (n *Network) admit(v *validator, tx *chain.Transaction) {
 // produceLoop forms a block every BlockPeriod on whichever validator is the
 // IBFT proposer, and evaluates the livelock condition.
 func (n *Network) produceLoop() {
-	defer close(n.done)
+	h := clock.RegisterForked(n.cfg.Clock, "quorum/producer")
+	defer h.Close()
+	defer n.done.Close()
 	tick := n.cfg.Clock.NewTicker(n.cfg.BlockPeriod)
 	defer tick.Stop()
 	for {
-		select {
-		case <-n.stop:
+		switch i, _, _ := clock.Await(n.cfg.Clock, n.stop, tick); i {
+		case 0:
 			return
-		case <-tick.C():
+		case 1:
 			for _, v := range n.validators {
 				if !v.engine.IsProposer() {
 					continue

@@ -109,8 +109,8 @@ type Network struct {
 
 	mu      sync.Mutex
 	running bool
-	stop    chan struct{}
-	done    chan struct{}
+	stop    *clock.Gate
+	done    *clock.Gate
 
 	// discardedOps counts payload operations lost to atomic batch discard
 	// (counted once per decision, on validator 0's identical replay).
@@ -125,8 +125,8 @@ func New(cfg Config) *Network {
 	n := &Network{
 		cfg:  cfg,
 		hub:  systems.NewHub(cfg.Validators),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		stop: clock.NewGate(cfg.Clock),
+		done: clock.NewGate(cfg.Clock),
 	}
 	if cfg.Transport == nil {
 		n.transport = network.NewTransport(cfg.Clock, nil)
@@ -210,6 +210,7 @@ func (n *Network) Start() error {
 			return fmt.Errorf("start validator %d: %w", i, err)
 		}
 	}
+	clock.Fork(n.cfg.Clock, 1)
 	go n.publishLoop()
 	return nil
 }
@@ -223,8 +224,8 @@ func (n *Network) Stop() {
 	}
 	n.running = false
 	n.mu.Unlock()
-	close(n.stop)
-	<-n.done
+	n.stop.Close()
+	clock.Await(n.cfg.Clock, n.done)
 	for _, v := range n.validators {
 		v.engine.Stop()
 		n.transport.Unregister(gossipEndpoint(v.id))
@@ -296,14 +297,16 @@ func (n *Network) admitGossip(v *validator, b *chain.Batch) {
 // publishLoop publishes a block every BlockPublishingDelay on the PBFT
 // primary.
 func (n *Network) publishLoop() {
-	defer close(n.done)
+	h := clock.RegisterForked(n.cfg.Clock, "sawtooth/publisher")
+	defer h.Close()
+	defer n.done.Close()
 	tick := n.cfg.Clock.NewTicker(n.cfg.BlockPublishingDelay)
 	defer tick.Stop()
 	for {
-		select {
-		case <-n.stop:
+		switch i, _, _ := clock.Await(n.cfg.Clock, n.stop, tick); i {
+		case 0:
 			return
-		case <-tick.C():
+		case 1:
 			if n.cfg.PendingStallAtValidators > 0 &&
 				n.cfg.Validators >= n.cfg.PendingStallAtValidators {
 				continue // transactions stay pending, never finalized

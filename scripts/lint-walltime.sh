@@ -1,0 +1,36 @@
+#!/bin/sh
+# lint-walltime.sh enforces the determinism contract's source-level rule:
+# production code never reads the wall clock or schedules against it
+# directly. All time flows through internal/clock (whose Clock interface
+# the virtual scheduler implements), so `-time virtual` runs stay
+# CPU-bound and bit-deterministic. A direct time.Now/Sleep/After/
+# NewTicker/NewTimer call would silently reintroduce wall-clock
+# dependence that only shows up as flaky virtual runs much later.
+#
+# Exemptions:
+#   - internal/clock/ itself (the one sanctioned wall-clock boundary;
+#     everything else uses clock.Walltime() for wall reads)
+#   - _test.go files (tests may pace themselves against real time)
+#   - resultdb.go (stamps reports with the actual date, not sim time)
+set -eu
+cd "$(dirname "$0")/.."
+
+# time.Now( | time.Sleep( | time.After( | time.Tick( | time.NewTicker( |
+# time.NewTimer( | time.AfterFunc( — the wall-clock package API. Method
+# calls like t.After(u) on time.Time values are fine and not matched.
+pattern='time\.(Now|Sleep|After|Tick|NewTicker|NewTimer|AfterFunc)\('
+
+hits=$(grep -rEn "$pattern" \
+    --include='*.go' \
+    --exclude='*_test.go' \
+    internal/ cmd/ examples/ 2>/dev/null |
+    grep -v '^internal/clock/' |
+    grep -v '^internal/coconut/resultdb\.go:' || true)
+
+if [ -n "$hits" ]; then
+    echo "lint-walltime: direct wall-clock use outside internal/clock:" >&2
+    echo "$hits" >&2
+    echo "route time through the injected clock.Clock (or clock.Walltime for sanctioned wall reads)" >&2
+    exit 1
+fi
+echo "lint-walltime: ok"
