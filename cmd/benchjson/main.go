@@ -152,6 +152,13 @@ func parseOutcomeFile(path string) ([]Entry, error) {
 			if r.GoodputRecoverySec.N > 0 {
 				metrics["goodputRecoverySec"] = r.GoodputRecoverySec.Mean
 			}
+			// Per-stage pipeline latency percentiles (seconds), one pair per
+			// instrumented stage, so trajectory diffs surface a stage that
+			// regressed even when the end-to-end MFLS hides it.
+			for _, ss := range r.Stages {
+				metrics["stage_"+ss.Stage+"_p50"] = ss.P50.Mean
+				metrics["stage_"+ss.Stage+"_p95"] = ss.P95.Mean
+			}
 			entries = append(entries, Entry{Name: name, Iterations: 1, Metrics: metrics})
 		}
 		// Virtual-time runs also carry per-cell speed accounting: how many

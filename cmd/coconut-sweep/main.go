@@ -67,6 +67,7 @@ func run() error {
 		skewArg = flag.String("skew", "zipfian", "key distribution for -workload: "+
 			strings.Join(workload.DistNames(), ", ")+", or all")
 		keysArg    = flag.Int("keys", 0, "shared key-space / account-pool size for -workload (0 = default)")
+		stagesFlag = flag.Bool("stages", false, "print the per-stage pipeline latency breakdown (submit/queue/consensus/execute/validate/commit) and bottleneck per cell")
 		list       = flag.Bool("list", false, "enumerate scenarios, benchmarks, arrivals, fault presets, workloads, mixes, and skews")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file when the sweep finishes")
@@ -175,6 +176,9 @@ func run() error {
 				fmt.Println("  " + line)
 			}
 		}
+		if *stagesFlag {
+			printStages(oc)
+		}
 	}
 
 	if *mdPath != "" {
@@ -220,6 +224,28 @@ func printProgress(p experiments.Progress) {
 		line += " conflicts=" + s
 	}
 	fmt.Println(line)
+}
+
+// printStages renders each cell's per-stage pipeline latency breakdown and
+// names the dominant stage. The markdown report renders the same data as a
+// table whenever it is present; this flag surfaces it on stdout.
+func printStages(oc *experiments.Outcome) {
+	for _, row := range oc.Rows {
+		r := row.Result
+		if len(r.Stages) == 0 {
+			continue
+		}
+		cell := row.System + "/" + row.Benchmark
+		if row.Workload != "" {
+			cell = row.System + "/" + row.Workload
+		}
+		line := fmt.Sprintf("  [stages] %-40s", cell)
+		for _, sr := range r.Stages {
+			line += fmt.Sprintf(" %s=%.3fs", sr.Stage, sr.Mean.Mean)
+		}
+		line += " bottleneck=" + r.Bottleneck
+		fmt.Println(line)
+	}
 }
 
 // resolveScenarios maps the -scenario flag plus every legacy flag onto

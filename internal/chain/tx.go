@@ -90,6 +90,12 @@ type Transaction struct {
 	SubmittedAt time.Time
 	// Signatures collected over the transaction digest.
 	Signatures []crypto.Signature
+	// Stages carries the per-stage pipeline completion timestamps stamped by
+	// the driver as the transaction travels submit → queue → consensus →
+	// execute → validate. Embedded by value so marking allocates nothing;
+	// transactions must be passed by pointer (the atomics make the struct
+	// non-copyable, which go vet enforces).
+	Stages StageTrace
 }
 
 // NewTransaction builds a transaction with a derived ID.

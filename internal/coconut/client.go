@@ -135,6 +135,7 @@ type Client struct {
 	shards  [inflightShards]inflightShard
 	threads []clientThread
 	hist    *LatencyHist
+	stages  StageMetrics
 
 	// Online repetition summary, streamed as sends and events happen so
 	// phase-end aggregation never walks the full record set.
@@ -211,17 +212,28 @@ func (c *Client) onEvent(ev systems.Event) {
 		c.aborts[abortCode(ev.Code)] += rec.Ops
 		c.abortMu.Unlock()
 	}
-	c.latencySumNs.Add(int64(fls))
-	c.latencyN.Add(1)
+	// Ops-weighted: §4.5 counts every payload as one transaction, so a
+	// multi-op transaction's latency weighs once per operation — matching
+	// ReceivedNoT and the timeline's accounting.
+	c.latencySumNs.Add(int64(fls) * int64(rec.Ops))
+	c.latencyN.Add(int64(rec.Ops))
 	atomicMax(&c.lastRecvNs, now.UnixNano())
-	c.hist.Observe(fls)
+	c.hist.ObserveN(fls, uint64(rec.Ops))
 	if rec.Thread >= 0 && rec.Thread < len(c.threads) {
 		c.threads[rec.Thread].received.Add(uint64(rec.Ops))
 	}
 	ops := rec.Ops
+	start := rec.Start
 	s.mu.Unlock()
-	// The timeline update happens outside the shard lock: it is shared by
-	// every client and must not extend the per-shard critical section.
+	// Stage folding and the timeline update happen outside the shard lock:
+	// both are atomic-only and must not extend the per-shard critical
+	// section. The confirmation instant closes the commit segment.
+	if ev.Stages != nil {
+		var buf [chain.NumStages]chain.StageSpan
+		for _, sp := range ev.Stages.Durations(start, now, buf[:0]) {
+			c.stages.Observe(sp.Stage, sp.Dur, ops)
+		}
+	}
 	if c.cfg.Timeline != nil {
 		c.cfg.Timeline.RecordRecv(now, ops, fls, ev.ValidOK)
 	}
@@ -326,6 +338,7 @@ func (c *Client) Summary() ClientSummary {
 		LatencySum:  time.Duration(c.latencySumNs.Load()),
 		LatencyN:    int(c.latencyN.Load()),
 		Hist:        c.hist,
+		Stages:      &c.stages,
 	}
 	c.abortMu.Lock()
 	if len(c.aborts) > 0 {

@@ -13,6 +13,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
 )
 
 // TxRecord is one transaction's client-side lifecycle (T0 and T3 in the
@@ -91,11 +93,21 @@ func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
 
 // Observe streams one latency sample into the histogram.
 func (h *LatencyHist) Observe(d time.Duration) {
+	h.ObserveN(d, 1)
+}
+
+// ObserveN streams n identical latency samples into the histogram. §4.5
+// counts every payload as one transaction, so a multi-op transaction's
+// finalization latency must weigh once per operation it carried.
+func (h *LatencyHist) ObserveN(d time.Duration, n uint64) {
+	if n == 0 {
+		return
+	}
 	if d < 0 {
 		d = 0
 	}
-	h.counts[histIndex(uint64(d))].Add(1)
-	h.total.Add(1)
+	h.counts[histIndex(uint64(d))].Add(n)
+	h.total.Add(n)
 }
 
 // Count reports the number of observations.
@@ -136,6 +148,86 @@ func (h *LatencyHist) Quantile(q float64) time.Duration {
 		}
 	}
 	return 0
+}
+
+// StageMetrics accumulates ops-weighted per-stage pipeline latency: a
+// sum/count pair per stage for the mean and a histogram per stage for
+// percentiles. All fields are atomic, so event goroutines stream stage
+// durations in concurrently, mirroring LatencyHist.
+type StageMetrics struct {
+	sum  [chain.NumStages]atomic.Int64 // nanoseconds, ops-weighted
+	n    [chain.NumStages]atomic.Int64 // ops carrying stage data
+	hist [chain.NumStages]LatencyHist
+}
+
+// Observe folds one transaction's time in stage s, weighted by the ops the
+// transaction carried (§4.5 per-payload accounting).
+func (m *StageMetrics) Observe(s chain.Stage, d time.Duration, ops int) {
+	if ops <= 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	m.sum[s].Add(int64(d) * int64(ops))
+	m.n[s].Add(int64(ops))
+	m.hist[s].ObserveN(d, uint64(ops))
+}
+
+// Merge folds other's per-stage observations into m.
+func (m *StageMetrics) Merge(other *StageMetrics) {
+	if other == nil {
+		return
+	}
+	for i := 0; i < chain.NumStages; i++ {
+		m.sum[i].Add(other.sum[i].Load())
+		m.n[i].Add(other.n[i].Load())
+		m.hist[i].Merge(&other.hist[i])
+	}
+}
+
+// Empty reports whether no stage observation has been recorded.
+func (m *StageMetrics) Empty() bool {
+	for i := 0; i < chain.NumStages; i++ {
+		if m.n[i].Load() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Summarize renders the accumulated stage latencies as per-stage statistics
+// in pipeline order, skipping stages that never recorded. Nil when empty.
+func (m *StageMetrics) Summarize() []StageStat {
+	var out []StageStat
+	for i := 0; i < chain.NumStages; i++ {
+		n := m.n[i].Load()
+		if n == 0 {
+			continue
+		}
+		out = append(out, StageStat{
+			Stage:   chain.Stage(i).String(),
+			MeanSec: (time.Duration(m.sum[i].Load()) / time.Duration(n)).Seconds(),
+			P50Sec:  m.hist[i].Quantile(0.50).Seconds(),
+			P95Sec:  m.hist[i].Quantile(0.95).Seconds(),
+			Ops:     int(n),
+		})
+	}
+	return out
+}
+
+// StageStat is one pipeline stage's ops-weighted latency summary within a
+// repetition.
+type StageStat struct {
+	// Stage is the canonical stage name (chain.Stage.String order).
+	Stage string
+	// MeanSec is the ops-weighted mean time spent in the stage, in seconds.
+	MeanSec float64
+	// P50Sec and P95Sec are stage-latency percentiles in seconds.
+	P50Sec float64
+	P95Sec float64
+	// Ops counts the received payloads that carried data for this stage.
+	Ops int
 }
 
 // RepetitionResult holds the metrics of one benchmark execution across all
@@ -189,6 +281,9 @@ type RepetitionResult struct {
 	// Windows is the windowed throughput/latency timeline (nil when not
 	// collected).
 	Windows []WindowStat
+	// Stages is the per-stage pipeline latency breakdown in pipeline order
+	// (nil when the driver did not instrument or records carried no marks).
+	Stages []StageStat
 }
 
 // ClientSummary is one client's online aggregation of a benchmark phase:
@@ -207,12 +302,16 @@ type ClientSummary struct {
 	ValidNoT int
 	// Aborts counts invalid-committed payloads by abort code.
 	Aborts map[string]int
-	// LatencySum and LatencyN accumulate per-transaction finalization
-	// latency for the MFLS mean.
+	// LatencySum and LatencyN accumulate ops-weighted finalization latency
+	// for the MFLS mean (§4.5 counts every payload once, so a multi-op
+	// transaction contributes its latency once per operation).
 	LatencySum time.Duration
 	LatencyN   int
 	// Hist is the client's streamed latency histogram.
 	Hist *LatencyHist
+	// Stages is the client's streamed per-stage pipeline latency (nil when
+	// the driver did not instrument).
+	Stages *StageMetrics
 }
 
 // CombineSummaries folds per-client online summaries into one repetition's
@@ -230,10 +329,12 @@ func CombineSummaries(sums []ClientSummary) RepetitionResult {
 		conflicts  map[string]int
 	)
 	hist := NewLatencyHist()
+	stages := &StageMetrics{}
 	for _, s := range sums {
 		expected += s.ExpectedNoT
 		received += s.ReceivedNoT
 		valid += s.ValidNoT
+		stages.Merge(s.Stages)
 		for code, n := range s.Aborts {
 			if conflicts == nil {
 				conflicts = make(map[string]int)
@@ -250,7 +351,9 @@ func CombineSummaries(sums []ClientSummary) RepetitionResult {
 		latencyN += s.LatencyN
 		hist.Merge(s.Hist)
 	}
-	return finishRepetition(first, last, received, expected, valid, conflicts, latencySum, latencyN, hist)
+	res := finishRepetition(first, last, received, expected, valid, conflicts, latencySum, latencyN, hist)
+	res.Stages = stages.Summarize()
+	return res
 }
 
 // ComputeRepetition derives one repetition's metrics from the raw records
@@ -288,9 +391,11 @@ func ComputeRepetition(records []TxRecord) RepetitionResult {
 		if r.End.After(last) {
 			last = r.End
 		}
-		latencySum += r.FLS()
-		latencyN++
-		hist.Observe(r.FLS())
+		// Ops-weighted, matching the online path and the timeline: a
+		// multi-op transaction's latency counts once per payload (§4.5).
+		latencySum += r.FLS() * time.Duration(r.Ops)
+		latencyN += r.Ops
+		hist.ObserveN(r.FLS(), uint64(r.Ops))
 	}
 	return finishRepetition(first, last, received, expected, valid, conflicts, latencySum, latencyN, hist)
 }
@@ -311,11 +416,18 @@ func finishRepetition(first, last time.Time, received, expected, valid int, conf
 		ValidNoT:    valid,
 		Conflicts:   conflicts,
 	}
-	if received > 0 && last.After(first) {
-		res.DurationSec = last.Sub(first).Seconds()
-		res.TPS = float64(received) / res.DurationSec
-		res.Goodput = float64(valid) / res.DurationSec
+	if received > 0 {
+		// AbortRate is a pure count ratio: it must not vanish when the run
+		// has zero duration (under AutoVirtual every confirmation can land
+		// at one virtual instant, leaving last == first). Rates that divide
+		// by the duration stay explicitly 0 with DurationSec = 0 rather
+		// than reporting an inflated or NaN throughput.
 		res.AbortRate = float64(received-valid) / float64(received)
+		if last.After(first) {
+			res.DurationSec = last.Sub(first).Seconds()
+			res.TPS = float64(received) / res.DurationSec
+			res.Goodput = float64(valid) / res.DurationSec
+		}
 	}
 	if latencyN > 0 {
 		res.FLS = (latencySum / time.Duration(latencyN)).Seconds()
@@ -419,8 +531,23 @@ type Result struct {
 	// GoodputRecoverySec summarises post-heal goodput recovery time over
 	// the repetitions whose goodput recovered.
 	GoodputRecoverySec Stats
+	// Stages summarises the per-stage pipeline latency breakdown across
+	// repetitions, in pipeline order (nil without stage instrumentation).
+	Stages []StageResult
+	// Bottleneck names the stage with the largest mean latency — the
+	// pipeline's dominant cost. Empty without stage data.
+	Bottleneck string
 
 	Repetitions []RepetitionResult
+}
+
+// StageResult summarises one pipeline stage's latency across repetitions.
+type StageResult struct {
+	Stage string
+	Mean  Stats
+	P50   Stats
+	P95   Stats
+	Ops   Stats
 }
 
 // Aggregate folds repetition results into a Result.
@@ -452,6 +579,7 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 			}
 		}
 	}
+	stages, bottleneck := aggregateStages(reps)
 	var conflicts map[string]Stats
 	if len(codes) > 0 {
 		conflicts = make(map[string]Stats, len(codes))
@@ -482,8 +610,59 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		Availability:       Summarize(avail),
 		RecoverySec:        Summarize(recov),
 		GoodputRecoverySec: Summarize(goodRecov),
+		Stages:             stages,
+		Bottleneck:         bottleneck,
 		Repetitions:        reps,
 	}
+}
+
+// aggregateStages folds per-repetition stage breakdowns into per-stage Stats
+// in pipeline order and names the bottleneck (the stage with the largest
+// mean latency). A stage absent from a repetition contributes nothing to
+// that stage's samples rather than a fake zero.
+func aggregateStages(reps []RepetitionResult) ([]StageResult, string) {
+	type acc struct{ mean, p50, p95, ops []float64 }
+	var accs [chain.NumStages]acc
+	seen := false
+	for _, r := range reps {
+		for _, ss := range r.Stages {
+			s, ok := chain.StageByName(ss.Stage)
+			if !ok {
+				continue
+			}
+			seen = true
+			a := &accs[s]
+			a.mean = append(a.mean, ss.MeanSec)
+			a.p50 = append(a.p50, ss.P50Sec)
+			a.p95 = append(a.p95, ss.P95Sec)
+			a.ops = append(a.ops, float64(ss.Ops))
+		}
+	}
+	if !seen {
+		return nil, ""
+	}
+	var out []StageResult
+	bottleneck := ""
+	worst := -1.0
+	for i := 0; i < chain.NumStages; i++ {
+		a := accs[i]
+		if len(a.mean) == 0 {
+			continue
+		}
+		sr := StageResult{
+			Stage: chain.Stage(i).String(),
+			Mean:  Summarize(a.mean),
+			P50:   Summarize(a.p50),
+			P95:   Summarize(a.p95),
+			Ops:   Summarize(a.ops),
+		}
+		out = append(out, sr)
+		if sr.Mean.Mean > worst {
+			worst = sr.Mean.Mean
+			bottleneck = sr.Stage
+		}
+	}
+	return out, bottleneck
 }
 
 // String renders the result as one row in the paper's reporting style.

@@ -5,6 +5,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
 )
 
 func rec(start, end int64, ops int, received bool) TxRecord {
@@ -235,9 +237,11 @@ func TestCombineSummariesMatchesComputeRepetition(t *testing.T) {
 			if r.End.After(s.LastRecv) {
 				s.LastRecv = r.End
 			}
-			s.LatencySum += r.FLS()
-			s.LatencyN++
-			s.Hist.Observe(r.FLS())
+			// Ops-weighted, as the client's onEvent accumulates (§4.5
+			// per-payload accounting).
+			s.LatencySum += r.FLS() * time.Duration(r.Ops)
+			s.LatencyN += r.Ops
+			s.Hist.ObserveN(r.FLS(), uint64(r.Ops))
 		}
 		return s
 	}
@@ -257,6 +261,48 @@ func TestCombineSummariesMatchesComputeRepetition(t *testing.T) {
 	if got.P50 != want.P50 || got.P95 != want.P95 || got.P99 != want.P99 {
 		t.Fatalf("percentiles diverge: got %v/%v/%v want %v/%v/%v",
 			got.P50, got.P95, got.P99, want.P50, want.P95, want.P99)
+	}
+}
+
+// TestMFLSIsOpsWeighted is the regression for the MFLS weighting bug: the
+// mean finalization latency must weigh each transaction's latency by the
+// payloads it carried (§4.5 counts every operation as one transaction), in
+// both the mean and the histogram percentiles.
+func TestMFLSIsOpsWeighted(t *testing.T) {
+	// A 2-op transaction at 1s and a 1-op transaction at 4s: the
+	// per-payload mean is (2*1 + 1*4) / 3 = 2s, not (1+4)/2 = 2.5s.
+	res := ComputeRepetition([]TxRecord{
+		rec(0, 1, 2, true),
+		rec(0, 4, 1, true),
+	})
+	if got, want := res.FLS, 2.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("MFLS = %v, want %v (ops-weighted)", got, want)
+	}
+	// Histogram: 3 payload observations, so p50 is the 1s bucket (2 of 3
+	// payloads), within the histogram's ~3% bucket error.
+	if res.P50 > 1.05 {
+		t.Fatalf("P50 = %v, want ~1s (payload-weighted histogram)", res.P50)
+	}
+}
+
+// TestZeroDurationRepetitionKeepsCounts is the regression for the
+// zero-duration metrics drop: when every confirmation lands at one instant
+// (routine under AutoVirtual), the repetition must still report its counts
+// and AbortRate; only the duration-derived rates stay 0.
+func TestZeroDurationRepetitionKeepsCounts(t *testing.T) {
+	recs := []TxRecord{rec(5, 5, 1, true), rec(5, 5, 1, true)}
+	recs[1].ValidOK = false
+	recs[0].ValidOK = true
+	res := ComputeRepetition(recs)
+	if res.ReceivedNoT != 2 || res.ValidNoT != 1 {
+		t.Fatalf("counts = %d received / %d valid, want 2/1", res.ReceivedNoT, res.ValidNoT)
+	}
+	if got, want := res.AbortRate, 0.5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("AbortRate = %v, want %v despite zero duration", got, want)
+	}
+	if res.DurationSec != 0 || res.TPS != 0 || res.Goodput != 0 {
+		t.Fatalf("duration-derived rates must stay 0: dur=%v tps=%v goodput=%v",
+			res.DurationSec, res.TPS, res.Goodput)
 	}
 }
 
@@ -293,5 +339,64 @@ func TestPropertyReceivedNeverExceedsExpected(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestStageMetricsMergeMatchesDirect pins per-stage histogram merge
+// correctness: observing a stream split across two StageMetrics and merging
+// must yield the same summary as observing it all into one.
+func TestStageMetricsMergeMatchesDirect(t *testing.T) {
+	var a, b, direct StageMetrics
+	obs := []struct {
+		s   chain.Stage
+		d   time.Duration
+		ops int
+	}{
+		{chain.StageSubmit, 2 * time.Millisecond, 1},
+		{chain.StageQueue, 40 * time.Millisecond, 3},
+		{chain.StageQueue, 90 * time.Millisecond, 1},
+		{chain.StageConsensus, 15 * time.Millisecond, 2},
+		{chain.StageCommit, 25 * time.Millisecond, 5},
+	}
+	for i, o := range obs {
+		if i%2 == 0 {
+			a.Observe(o.s, o.d, o.ops)
+		} else {
+			b.Observe(o.s, o.d, o.ops)
+		}
+		direct.Observe(o.s, o.d, o.ops)
+	}
+	var merged StageMetrics
+	merged.Merge(&a)
+	merged.Merge(&b)
+
+	got, want := merged.Summarize(), direct.Summarize()
+	if len(got) != len(want) {
+		t.Fatalf("stage counts differ: %v vs %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("stage %d: merged %+v != direct %+v", i, got[i], want[i])
+		}
+	}
+	// Ops weighting: queue mean = (3*40 + 1*90)/4 = 52.5ms.
+	for _, ss := range got {
+		if ss.Stage == "queue" {
+			if wantMean := 0.0525; math.Abs(ss.MeanSec-wantMean) > 1e-9 {
+				t.Fatalf("queue mean = %v, want %v (ops-weighted)", ss.MeanSec, wantMean)
+			}
+			if ss.Ops != 4 {
+				t.Fatalf("queue ops = %d, want 4", ss.Ops)
+			}
+		}
+	}
+	if !(&StageMetrics{}).Empty() {
+		t.Fatal("fresh StageMetrics must be Empty")
+	}
+	if merged.Empty() {
+		t.Fatal("merged StageMetrics must not be Empty")
+	}
+	if (&StageMetrics{}).Summarize() != nil {
+		t.Fatal("empty StageMetrics must summarize to nil")
 	}
 }

@@ -19,11 +19,21 @@ type Timeline struct {
 	recv   []atomic.Int64
 	valid  []atomic.Int64
 	latNs  []atomic.Int64
+	// Past-horizon observations accumulate here instead of being clamped
+	// into the last window: folding them in would inflate the final
+	// bucket's throughput, which lets recoveryTime mistake a burst of
+	// ultra-late confirmations for a recovered system and distorts the
+	// availability span. The overflow is reported separately (Overflow)
+	// and excluded from availability/recovery.
+	overSent  atomic.Int64
+	overRecv  atomic.Int64
+	overValid atomic.Int64
+	overLatNs atomic.Int64
 }
 
 // NewTimeline creates a timeline starting at start, covering horizon with
-// buckets of the given window width. Observations past the horizon clamp
-// into the last bucket.
+// buckets of the given window width. Observations past the horizon land in
+// a separate overflow bucket (see Overflow), not in the last window.
 func NewTimeline(start time.Time, window, horizon time.Duration) *Timeline {
 	if window <= 0 {
 		window = time.Second
@@ -45,20 +55,27 @@ func NewTimeline(start time.Time, window, horizon time.Duration) *Timeline {
 // Window returns the bucket width.
 func (t *Timeline) Window() time.Duration { return t.window }
 
+// idx maps an instant to its window, or -1 when it falls past the horizon.
+// Pre-start instants (clock skew around load start) clamp into window 0.
 func (t *Timeline) idx(at time.Time) int {
 	i := int(at.Sub(t.start) / t.window)
 	if i < 0 {
 		i = 0
 	}
 	if i >= len(t.sent) {
-		i = len(t.sent) - 1
+		return -1
 	}
 	return i
 }
 
 // RecordSend streams one submission of ops payloads.
 func (t *Timeline) RecordSend(at time.Time, ops int) {
-	t.sent[t.idx(at)].Add(int64(ops))
+	i := t.idx(at)
+	if i < 0 {
+		t.overSent.Add(int64(ops))
+		return
+	}
+	t.sent[i].Add(int64(ops))
 }
 
 // RecordRecv streams one confirmation of ops payloads with its end-to-end
@@ -69,11 +86,37 @@ func (t *Timeline) RecordSend(at time.Time, ops int) {
 // a raw-confirmation one.
 func (t *Timeline) RecordRecv(at time.Time, ops int, fls time.Duration, valid bool) {
 	i := t.idx(at)
+	if i < 0 {
+		t.overRecv.Add(int64(ops))
+		if valid {
+			t.overValid.Add(int64(ops))
+		}
+		t.overLatNs.Add(int64(fls) * int64(ops))
+		return
+	}
 	t.recv[i].Add(int64(ops))
 	if valid {
 		t.valid[i].Add(int64(ops))
 	}
 	t.latNs[i].Add(int64(fls) * int64(ops))
+}
+
+// Overflow reports the observations that landed past the timeline's horizon
+// as one synthetic bucket starting at the horizon's end. It is not part of
+// Snapshot and never feeds availability or recovery; callers that need the
+// total payload accounting add it explicitly.
+func (t *Timeline) Overflow() WindowStat {
+	recv := t.overRecv.Load()
+	ws := WindowStat{
+		Start:    time.Duration(len(t.sent)) * t.window,
+		Sent:     int(t.overSent.Load()),
+		Received: int(recv),
+		Valid:    int(t.overValid.Load()),
+	}
+	if recv > 0 {
+		ws.MeanFLS = (time.Duration(t.overLatNs.Load() / recv)).Seconds()
+	}
+	return ws
 }
 
 // WindowStat is one timeline bucket.

@@ -13,13 +13,17 @@ func TestTimelineBucketsSendsAndRecvs(t *testing.T) {
 	tl.RecordSend(base.Add(150*time.Millisecond), 1)
 	tl.RecordRecv(base.Add(160*time.Millisecond), 1, 10*time.Millisecond, true)
 	tl.RecordRecv(base.Add(180*time.Millisecond), 1, 30*time.Millisecond, false)
-	// Out-of-range observations clamp instead of panicking.
+	// Pre-start observations clamp into window 0; past-horizon observations
+	// go to the overflow bucket, never the last window.
 	tl.RecordRecv(base.Add(-time.Second), 1, time.Millisecond, true)
 	tl.RecordRecv(base.Add(time.Hour), 1, time.Millisecond, true)
 
 	ws := tl.Snapshot()
-	if len(ws) != 11 { // clamped far-future recv lands in the last bucket
-		t.Fatalf("windows = %d, want 11", len(ws))
+	if len(ws) != 2 { // the far-future recv must not fake last-bucket activity
+		t.Fatalf("windows = %d, want 2", len(ws))
+	}
+	if over := tl.Overflow(); over.Received != 1 || over.Valid != 1 {
+		t.Fatalf("overflow = %+v, want 1 received/valid payload", over)
 	}
 	if ws[0].Sent != 2 || ws[0].Received != 1 {
 		t.Fatalf("window 0 = %+v", ws[0])
@@ -150,6 +154,37 @@ func TestGoodputRecoveryNeverReached(t *testing.T) {
 	}
 	if fm.GoodputRecovered {
 		t.Fatalf("goodput never recovered but reported %vs", fm.GoodputRecoverySec)
+	}
+}
+
+func TestOverflowDoesNotFakeRecovery(t *testing.T) {
+	// The system dies at the fault and stays dead for the rest of the
+	// horizon, but a burst of ultra-late confirmations lands past the
+	// horizon. Under the old clamp those inflated the last window and
+	// recoveryTime reported a recovered system; with the overflow bucket
+	// the run must stay unrecovered and the availability span must not
+	// stretch to the horizon's end.
+	base := time.Unix(0, 0)
+	w := 100 * time.Millisecond
+	tl := NewTimeline(base, w, 10*w)
+	for i := 0; i < 3; i++ {
+		at := base.Add(time.Duration(i)*w + w/2)
+		tl.RecordSend(at, 6)
+		tl.RecordRecv(at, 6, time.Millisecond, true)
+	}
+	// Late burst well past the horizon.
+	tl.RecordRecv(base.Add(time.Hour), 12, time.Millisecond, true)
+
+	fm := ComputeFaultMetrics(tl, 300*time.Millisecond, 600*time.Millisecond, true)
+	if fm.Recovered || fm.GoodputRecovered {
+		t.Fatalf("dead system reported recovery (raw %v, goodput %v) off past-horizon confirmations",
+			fm.Recovered, fm.GoodputRecovered)
+	}
+	if fm.Availability != 1 {
+		t.Fatalf("availability = %v, want 1 (span must end at the last in-horizon confirmation)", fm.Availability)
+	}
+	if over := tl.Overflow(); over.Received != 12 {
+		t.Fatalf("overflow received = %d, want 12", over.Received)
 	}
 }
 

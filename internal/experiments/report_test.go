@@ -109,6 +109,13 @@ func TestWriteReportGolden(t *testing.T) {
 					Availability: 0.75, Recovered: true, RecoverySec: 0.3,
 					GoodputRecovered: true, GoodputRecoverySec: 1.1,
 					Windows:          []coconut.WindowStat{{}},
+					Stages: []coconut.StageStat{
+						{Stage: "submit", MeanSec: 0.001, P50Sec: 0.001, P95Sec: 0.002, Ops: 2400},
+						{Stage: "queue", MeanSec: 0.055, P50Sec: 0.050, P95Sec: 0.110, Ops: 2400},
+						{Stage: "consensus", MeanSec: 0.012, P50Sec: 0.010, P95Sec: 0.025, Ops: 2400},
+						{Stage: "validate", MeanSec: 0.004, P50Sec: 0.003, P95Sec: 0.008, Ops: 2400},
+						{Stage: "commit", MeanSec: 0.030, P50Sec: 0.028, P95Sec: 0.060, Ops: 2400},
+					},
 				})},
 		},
 	}
@@ -174,6 +181,53 @@ func TestWriteReportSectionShapes(t *testing.T) {
 	}
 	if strings.Contains(got, "Availability") || strings.Contains(got, "Goodput") {
 		t.Fatalf("healthy figure section must not carry fault/contention columns:\n%s", got)
+	}
+}
+
+func TestWriteReportStageBreakdown(t *testing.T) {
+	// Rows with stage data grow a stage-breakdown table naming the
+	// bottleneck; stages a system never traverses render as "—".
+	oc := &Outcome{
+		Scenario: Scenario{Name: "stages-excerpt"},
+		Rows: []OutcomeRow{
+			{System: "Quorum", Benchmark: "DoNothing", Nodes: 4,
+				Result: fakeResult(coconut.RepetitionResult{
+					TPS: 200, ReceivedNoT: 100, ExpectedNoT: 100,
+					Stages: []coconut.StageStat{
+						{Stage: "submit", MeanSec: 0.001, Ops: 100},
+						{Stage: "queue", MeanSec: 0.120, Ops: 100},
+						{Stage: "consensus", MeanSec: 0.015, Ops: 100},
+						{Stage: "execute", MeanSec: 0.002, Ops: 100},
+						{Stage: "commit", MeanSec: 0.030, Ops: 100},
+					},
+				})},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, oc); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"### Stage breakdown", "| submit | queue | consensus | execute | validate | commit | Bottleneck |",
+		"0.120", "queue |", " — |", // validate never traversed
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stage section lacks %q:\n%s", want, got)
+		}
+	}
+	if !strings.Contains(got, "| Quorum | DoNothing @4n |") {
+		t.Fatalf("stage row label missing:\n%s", got)
+	}
+
+	// Without stage data the section must not appear at all.
+	var plain strings.Builder
+	if err := WriteReport(&plain, &Outcome{Scenario: Scenario{Name: "plain"},
+		Rows: []OutcomeRow{fakeRow("Fabric", "DoNothing", nil, coconut.RepetitionResult{TPS: 1})}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "Stage breakdown") {
+		t.Fatalf("stage section rendered without stage data:\n%s", plain.String())
 	}
 }
 

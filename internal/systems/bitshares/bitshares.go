@@ -215,7 +215,11 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 	if nd.gate.Down() {
 		return systems.ErrNodeDown // the client's API node is unreachable
 	}
-	return nd.engine.Submit(tx)
+	if err := nd.engine.Submit(tx); err != nil {
+		return err
+	}
+	tx.Stages.Mark(chain.StageSubmit, n.cfg.Clock.Now())
+	return nil
 }
 
 // conflictFilter implements the paper's interacting-operation exclusion: a
@@ -235,6 +239,7 @@ func (n *Network) conflictFilter(items []any) (included, excluded []any) {
 		return false
 	}
 
+	packedAt := n.cfg.Clock.Now()
 	blockTouched := make(map[string]bool)
 	for _, it := range items {
 		tx, ok := it.(*chain.Transaction)
@@ -264,6 +269,8 @@ func (n *Network) conflictFilter(items []any) (included, excluded []any) {
 				n.windowKeys = n.windowKeys[1:]
 			}
 		}
+		// Packed into the forming block: the queue wait ends here.
+		tx.Stages.Mark(chain.StageQueue, packedAt)
 		included = append(included, it)
 	}
 	n.excluded += uint64(len(excluded))
@@ -291,12 +298,14 @@ func (n *Network) applyDecision(nd *node, d consensus.Decision) {
 	if !ok {
 		return
 	}
+	decided := n.cfg.Clock.Now()
 	var surviving []*chain.Transaction
 	for _, it := range blk.Items {
 		tx, ok := it.(*chain.Transaction)
 		if !ok {
 			continue
 		}
+		tx.Stages.Mark(chain.StageConsensus, decided)
 		if txExecutes(tx, nd.state) {
 			surviving = append(surviving, tx)
 		} else if nd == n.nodes[0] {
@@ -316,6 +325,7 @@ func (n *Network) applyDecision(nd *node, d consensus.Decision) {
 	now := n.cfg.Clock.Now()
 	for txNum, tx := range surviving {
 		applyTx(tx, nd.state, cb.Number, txNum)
+		tx.Stages.Mark(chain.StageExecute, n.cfg.Clock.Now())
 		nd.hubNode.Committed(systems.Event{
 			TxID:      tx.ID,
 			Client:    tx.Client,
@@ -323,6 +333,7 @@ func (n *Network) applyDecision(nd *node, d consensus.Decision) {
 			ValidOK:   true,
 			OpCount:   tx.OpCount(),
 			BlockNum:  cb.Number,
+			Stages:    &tx.Stages,
 		}, now)
 	}
 }

@@ -283,6 +283,7 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 		return systems.ErrNodeDown // the RPC connection is refused
 	}
 	if nd.queue.TrySend(flowJob{tx: tx}) {
+		tx.Stages.Mark(chain.StageSubmit, n.cfg.Clock.Now())
 		return nil
 	}
 	n.mu.Lock()
@@ -294,6 +295,8 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 // runFlow executes one flow end to end on the entry node.
 func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 	started := n.cfg.Clock.Now()
+	// A flow worker picked the job up: the queue wait ends here.
+	tx.Stages.Mark(chain.StageQueue, started)
 	op := tx.Ops[0]
 
 	// Phase 1: build the UTXO transaction, paying vault-scan costs for
@@ -303,6 +306,8 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		n.recordFailure(err)
 		return
 	}
+	// Flow build is Corda's execution phase (vault scans, contract logic).
+	tx.Stages.Mark(chain.StageExecute, n.cfg.Clock.Now())
 	if n.deadlineExceeded(started) {
 		n.recordTimeout()
 		return
@@ -362,6 +367,9 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		n.recordTimeout()
 		return
 	}
+	// Signature collection plus notarisation is Corda's ordering/consensus
+	// analogue: after this instant the flow's outcome is decided.
+	tx.Stages.Mark(chain.StageConsensus, n.cfg.Clock.Now())
 
 	// Phase 4: finality — distribute to every vault; reads complete on the
 	// entry node alone.
@@ -372,6 +380,7 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		Committed: true,
 		ValidOK:   true,
 		OpCount:   tx.OpCount(),
+		Stages:    &tx.Stages,
 	}
 	if readOnly || utx == nil {
 		n.hub.EmitDirect(ev, now)
@@ -396,6 +405,9 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 				}
 				return
 			}
+			// Vault apply is Corda's commit-time validation (the vault
+			// rejects already-consumed inputs); first node wins the mark.
+			tx.Stages.Mark(chain.StageValidate, n.cfg.Clock.Now())
 			nd.hubNode.Committed(ev, n.cfg.Clock.Now())
 		})
 	}

@@ -210,7 +210,11 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 	if v.gate.Down() {
 		return systems.ErrNodeDown // the admission endpoint is unreachable
 	}
-	return v.pool.Add(tx)
+	if err := v.pool.Add(tx); err != nil {
+		return err
+	}
+	tx.Stages.Mark(chain.StageSubmit, n.cfg.Clock.Now())
+	return nil
 }
 
 // makePayloadSource pulls up to MaxBlockSize transactions from the leader's
@@ -225,7 +229,11 @@ func (n *Network) makePayloadSource(v *validator) func() any {
 		if len(txs) == 0 {
 			return nil
 		}
-		return proposedBlock{Txs: txs, FormedAt: n.cfg.Clock.Now(), Proposer: v.id}
+		formed := n.cfg.Clock.Now()
+		for _, tx := range txs {
+			tx.Stages.Mark(chain.StageQueue, formed)
+		}
+		return proposedBlock{Txs: txs, FormedAt: formed, Proposer: v.id}
 	}
 }
 
@@ -269,7 +277,9 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 	}
 	now := n.cfg.Clock.Now()
 	for txNum, tx := range blk.Txs {
+		tx.Stages.Mark(chain.StageConsensus, now)
 		execErr := executeTx(tx, v.state, cb.Number, txNum)
+		tx.Stages.Mark(chain.StageExecute, n.cfg.Clock.Now())
 		ev := systems.Event{
 			TxID:      tx.ID,
 			Client:    tx.Client,
@@ -277,6 +287,7 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 			ValidOK:   execErr == nil,
 			OpCount:   tx.OpCount(),
 			BlockNum:  cb.Number,
+			Stages:    &tx.Stages,
 		}
 		if execErr != nil {
 			ev.Reason = execErr.Error()

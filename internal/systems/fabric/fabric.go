@@ -276,10 +276,15 @@ func (n *Network) Submit(entryNode int, tx *chain.Transaction) error {
 		return systems.ErrNodeDown // the client's endorsement RPC fails
 	}
 	env := n.endorse(p, tx)
+	// Execute-order-validate: endorsement is the execution phase, and it
+	// happens before the transaction ever reaches the ordering queue.
+	tx.Stages.Mark(chain.StageExecute, n.cfg.Clock.Now())
 	o := n.orderers[entryNode%len(n.orderers)]
 	// Silent drop on overflow: Fabric's client SDK gets a broadcast ACK
 	// before ordering completes, so the loss is invisible end to end.
-	_ = o.ingress.Add(env)
+	if o.ingress.Add(env) == nil {
+		tx.Stages.Mark(chain.StageSubmit, n.cfg.Clock.Now())
+	}
 	return nil
 }
 
@@ -381,6 +386,9 @@ func (n *Network) cut(o *orderer, envs []envelope) bool {
 		}
 		return false
 	}
+	for _, env := range envs {
+		env.Tx.Stages.Mark(chain.StageQueue, batch.CutAt)
+	}
 	return true
 }
 
@@ -404,6 +412,10 @@ func (n *Network) makeDecideFunc(i int) consensus.DecideFunc {
 // reporting per-transaction commits to the hub. A crashed peer's gate
 // buffers its share of the work until RestartNode replays it.
 func (n *Network) commitBlock(seq uint64, batch cutBatch) {
+	decided := n.cfg.Clock.Now()
+	for _, env := range batch.Envelopes {
+		env.Tx.Stages.Mark(chain.StageConsensus, decided)
+	}
 	for _, p := range n.peers {
 		p := p
 		p.gate.Do(func() { n.commitOnPeer(p, batch) })
@@ -427,6 +439,9 @@ func (n *Network) commitOnPeer(p *peer, batch cutBatch) {
 		if validErr == nil {
 			env.RWSet.Commit(p.state, statestore.Version{BlockNum: blk.Number, TxNum: txNum})
 		}
+		// First-write-wins: the fastest peer's validation instant counts,
+		// and a crashed peer's gate-buffered replay cannot overwrite it.
+		env.Tx.Stages.Mark(chain.StageValidate, now)
 		if eventsLost {
 			continue // committed on-chain, but the client never hears
 		}
@@ -437,6 +452,7 @@ func (n *Network) commitOnPeer(p *peer, batch cutBatch) {
 			ValidOK:   validErr == nil,
 			OpCount:   env.Tx.OpCount(),
 			BlockNum:  blk.Number,
+			Stages:    &env.Tx.Stages,
 		}
 		if validErr != nil {
 			ev.Reason = validErr.Error()

@@ -19,6 +19,12 @@ type NodeGate struct {
 	mu      sync.Mutex
 	down    bool
 	backlog []func()
+	// replaying marks an in-progress Restart drain. The gate stays down
+	// while the backlog is replayed outside the lock, so concurrent Do
+	// calls keep appending (preserving arrival order behind the replayed
+	// prefix) and a concurrent Restart is a no-op instead of a double
+	// replay.
+	replaying bool
 }
 
 // Do runs f immediately when the gate is open, or buffers it for replay
@@ -49,19 +55,35 @@ func (g *NodeGate) Crash() bool {
 
 // Restart replays the buffered commit work in arrival order and reopens
 // the gate, returning the number of replayed items. Restarting a node that
-// is not down is a no-op.
+// is not down (or already mid-replay) is a no-op.
+//
+// The backlog is swapped out under the lock and replayed outside it: a
+// buffered callback may itself call Do on the same gate (drivers nest
+// commit work), and replaying under the mutex would self-deadlock. While a
+// drain round runs, the gate stays down, so work arriving concurrently is
+// buffered behind the replayed prefix and drained by the next round —
+// replay order still exactly matches arrival order.
 func (g *NodeGate) Restart() int {
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !g.down {
+	if !g.down || g.replaying {
+		g.mu.Unlock()
 		return 0
 	}
-	n := len(g.backlog)
-	for _, f := range g.backlog {
-		f()
+	g.replaying = true
+	n := 0
+	for len(g.backlog) > 0 {
+		batch := g.backlog
+		g.backlog = nil
+		g.mu.Unlock()
+		for _, f := range batch {
+			f()
+		}
+		n += len(batch)
+		g.mu.Lock()
 	}
-	g.backlog = nil
 	g.down = false
+	g.replaying = false
+	g.mu.Unlock()
 	return n
 }
 

@@ -267,6 +267,9 @@ func (n *Network) admit(v *validator, tx *chain.Transaction) {
 	v.seen[tx.ID] = true
 	v.mu.Unlock()
 	_ = v.pool.Add(tx)
+	// First admission into any pool ends the submit stage (gossip copies
+	// share the pointer; the CAS keeps the earliest).
+	tx.Stages.Mark(chain.StageSubmit, n.cfg.Clock.Now())
 }
 
 // produceLoop forms a block every BlockPeriod on whichever validator is the
@@ -312,11 +315,17 @@ func (n *Network) produce(v *validator) {
 		txs = v.pool.Take(n.cfg.MaxBlockTxs)
 	}
 	blk := producedBlock{Txs: txs, FormedAt: n.cfg.Clock.Now(), Producer: v.id}
-	if err := v.engine.Submit(blk); err != nil && !stalled {
-		// Requeue so the next period retries.
-		for _, tx := range txs {
-			_ = v.pool.Add(tx)
+	if err := v.engine.Submit(blk); err != nil {
+		if !stalled {
+			// Requeue so the next period retries.
+			for _, tx := range txs {
+				_ = v.pool.Add(tx)
+			}
 		}
+		return
+	}
+	for _, tx := range txs {
+		tx.Stages.Mark(chain.StageQueue, blk.FormedAt)
 	}
 }
 
@@ -342,7 +351,9 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 	}
 	now := n.cfg.Clock.Now()
 	for txNum, tx := range blk.Txs {
+		tx.Stages.Mark(chain.StageConsensus, now)
 		execErr := executeTx(tx, v.state, cb.Number, txNum)
+		tx.Stages.Mark(chain.StageExecute, n.cfg.Clock.Now())
 		ev := systems.Event{
 			TxID:      tx.ID,
 			Client:    tx.Client,
@@ -350,6 +361,7 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 			ValidOK:   execErr == nil,
 			OpCount:   tx.OpCount(),
 			BlockNum:  cb.Number,
+			Stages:    &tx.Stages,
 		}
 		if execErr != nil {
 			ev.Reason = execErr.Error()

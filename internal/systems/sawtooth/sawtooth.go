@@ -268,6 +268,10 @@ func (n *Network) SubmitBatch(entryNode int, b *chain.Batch) error {
 	if err := v.queue.Add(b); err != nil {
 		return err // backpressure: rejected, client must re-send
 	}
+	admitted := n.cfg.Clock.Now()
+	for _, tx := range b.Txs {
+		tx.Stages.Mark(chain.StageSubmit, admitted)
+	}
 	v.mu.Lock()
 	v.seen[b.ID] = true
 	v.mu.Unlock()
@@ -328,6 +332,12 @@ func (n *Network) publishLoop() {
 					for _, b := range batches {
 						_ = v.queue.Add(b)
 					}
+					break
+				}
+				for _, b := range batches {
+					for _, tx := range b.Txs {
+						tx.Stages.Mark(chain.StageQueue, blk.PublishedAt)
+					}
 				}
 				break
 			}
@@ -350,6 +360,12 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 	blk, ok := d.Payload.(publishedBlock)
 	if !ok {
 		return
+	}
+	decided := n.cfg.Clock.Now()
+	for _, b := range blk.Batches {
+		for _, tx := range b.Txs {
+			tx.Stages.Mark(chain.StageConsensus, decided)
+		}
 	}
 	// Dry-run each batch against a shadow to enforce atomicity, then
 	// apply the survivors.
@@ -375,6 +391,7 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 	for txNum, batch := range survivingBatches {
 		for _, tx := range batch.Txs {
 			applyTx(tx, v.state, cb.Number, txNum)
+			tx.Stages.Mark(chain.StageExecute, n.cfg.Clock.Now())
 			v.hubNode.Committed(systems.Event{
 				TxID:      tx.ID,
 				Client:    tx.Client,
@@ -382,6 +399,7 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 				ValidOK:   true,
 				OpCount:   tx.OpCount(),
 				BlockNum:  cb.Number,
+				Stages:    &tx.Stages,
 			}, now)
 		}
 	}

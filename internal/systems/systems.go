@@ -108,6 +108,11 @@ type Event struct {
 	BlockNum uint64
 	// FinalizedAt is when the last node persisted the transaction.
 	FinalizedAt time.Time
+	// Stages points at the transaction's pipeline stage trace (a pointer:
+	// the trace holds atomics and cannot be copied). Clients resolve it into
+	// per-stage latency histograms; nil when the driver did not instrument
+	// the transaction.
+	Stages *chain.StageTrace
 }
 
 // EventFunc receives finalization events. Callbacks run on system
