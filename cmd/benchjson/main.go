@@ -15,7 +15,8 @@
 // ingests the JSON written by `coconut-sweep -json`, turning every result
 // row into one entry whose metrics carry MTPS, goodput, abort rate, and —
 // when the fault axis was active — availability and both recovery clocks
-// (raw and goodput).
+// (raw and goodput). WAL-axis rows add replaySec/replayedRecords/logBytes,
+// the durable recovery plane's cost model.
 package main
 
 import (
@@ -151,6 +152,16 @@ func parseOutcomeFile(path string) ([]Entry, error) {
 			}
 			if r.GoodputRecoverySec.N > 0 {
 				metrics["goodputRecoverySec"] = r.GoodputRecoverySec.Mean
+			}
+			// WAL-axis rows carry the durable recovery plane's clocks: replay
+			// time (scales with log length at the crash) and the live log
+			// footprint.
+			if r.ReplaySec.N > 0 {
+				metrics["replaySec"] = r.ReplaySec.Mean
+				metrics["replayedRecords"] = r.ReplayedRecords.Mean
+			}
+			if r.LogBytes.N > 0 {
+				metrics["logBytes"] = r.LogBytes.Mean
 			}
 			// Per-stage pipeline latency percentiles (seconds), one pair per
 			// instrumented stage, so trajectory diffs surface a stage that

@@ -284,6 +284,24 @@ type RepetitionResult struct {
 	// Stages is the per-stage pipeline latency breakdown in pipeline order
 	// (nil when the driver did not instrument or records carried no marks).
 	Stages []StageStat
+	// WALEnabled reports whether the system ran with a write-ahead log; the
+	// durability counters below are meaningful only when it is true.
+	WALEnabled bool
+	// ReplayedRecords and ReplaySec count WAL records replayed on restarts
+	// during this repetition and the modeled time spent reading and
+	// CRC-verifying them (distinct from RecoverySec, which measures the
+	// throughput timeline's return to steady state).
+	ReplayedRecords int
+	ReplaySec       float64
+	// RefetchedRecords and RefetchSec count records lost at the crash point
+	// (unsynced tail, torn or corrupted suffix) that restarted nodes had to
+	// re-fetch from survivors and re-persist.
+	RefetchedRecords int
+	RefetchSec       float64
+	// LogRecords and LogBytes are the live WAL footprint summed across
+	// nodes at the end of the repetition (post-compaction).
+	LogRecords int
+	LogBytes   int
 }
 
 // ClientSummary is one client's online aggregation of a benchmark phase:
@@ -531,6 +549,14 @@ type Result struct {
 	// GoodputRecoverySec summarises post-heal goodput recovery time over
 	// the repetitions whose goodput recovered.
 	GoodputRecoverySec Stats
+	// ReplaySec, ReplayedRecords, RefetchSec, and LogBytes summarise the
+	// durable recovery plane across WAL-enabled repetitions: modeled
+	// crash-replay time, records replayed, suffix re-fetch time, and the
+	// live log footprint (zero-N when the run had no WAL).
+	ReplaySec       Stats
+	ReplayedRecords Stats
+	RefetchSec      Stats
+	LogBytes        Stats
 	// Stages summarises the per-stage pipeline latency breakdown across
 	// repetitions, in pipeline order (nil without stage instrumentation).
 	Stages []StageResult
@@ -553,6 +579,7 @@ type StageResult struct {
 // Aggregate folds repetition results into a Result.
 func Aggregate(system, benchmark string, params map[string]string, reps []RepetitionResult) Result {
 	var tps, fls, dur, recv, exp, valid, good, abort, p50, p95, p99, avail, recov, goodRecov []float64
+	var replay, replayed, refetch, logBytes []float64
 	codes := make(map[string]bool)
 	for _, r := range reps {
 		tps = append(tps, r.TPS)
@@ -577,6 +604,12 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 			if r.GoodputRecovered {
 				goodRecov = append(goodRecov, r.GoodputRecoverySec)
 			}
+		}
+		if r.WALEnabled { // durability metrics exist only with a WAL
+			replay = append(replay, r.ReplaySec)
+			replayed = append(replayed, float64(r.ReplayedRecords))
+			refetch = append(refetch, r.RefetchSec)
+			logBytes = append(logBytes, float64(r.LogBytes))
 		}
 	}
 	stages, bottleneck := aggregateStages(reps)
@@ -610,6 +643,10 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		Availability:       Summarize(avail),
 		RecoverySec:        Summarize(recov),
 		GoodputRecoverySec: Summarize(goodRecov),
+		ReplaySec:          Summarize(replay),
+		ReplayedRecords:    Summarize(replayed),
+		RefetchSec:         Summarize(refetch),
+		LogBytes:           Summarize(logBytes),
 		Stages:             stages,
 		Bottleneck:         bottleneck,
 		Repetitions:        reps,

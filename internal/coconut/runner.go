@@ -309,6 +309,15 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		conflictsBefore = reporter.ConflictCounts()
 	}
 
+	// WAL counters are likewise cumulative; snapshot them so the repetition
+	// reports only its own replay/refetch work.
+	var walBefore systems.RecoveryStats
+	walReporter, _ := driver.(systems.RecoveryReporter)
+	walEnabled := false
+	if walReporter != nil {
+		walBefore, walEnabled = walReporter.RecoveryStats()
+	}
+
 	// The fault timeline starts with the load; Stop restores full health
 	// before quiescence so the next unit member sees a pristine system.
 	var injector *faults.Injector
@@ -350,6 +359,19 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		rr.GoodputRecovered = fm.GoodputRecovered
 		rr.GoodputRecoverySec = fm.GoodputRecoverySec
 		rr.Windows = fm.Windows
+	}
+	if walEnabled {
+		after, _ := walReporter.RecoveryStats()
+		delta := after.Sub(walBefore)
+		rr.WALEnabled = true
+		rr.ReplayedRecords = int(delta.ReplayedRecords)
+		rr.ReplaySec = delta.ReplaySec
+		rr.RefetchedRecords = int(delta.RefetchedRecords)
+		rr.RefetchSec = delta.RefetchSec
+		// The live log footprint is a gauge, not a counter: report the
+		// end-of-repetition state rather than a delta.
+		rr.LogRecords = int(after.LogRecords)
+		rr.LogBytes = int(after.LogBytes)
 	}
 	return rr, written
 }

@@ -10,6 +10,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/faults"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 	"github.com/coconut-bench/coconut/internal/workload"
 )
 
@@ -56,9 +57,12 @@ type OutcomeRow struct {
 	Workload string `json:"workload,omitempty"`
 	// Nodes is the network size the cell ran at.
 	Nodes int `json:"nodes"`
-	// Faults labels the fault axis (preset name or "inline"); "" when
-	// healthy.
+	// Faults labels the fault axis (preset name, "inline", or "wal-crash"
+	// for schedules synthesized from WAL crash points); "" when healthy.
 	Faults string `json:"faults,omitempty"`
+	// WAL labels the durability axis (fsync policy, snapshot interval,
+	// crash point); "" when the cell ran without a write-ahead log.
+	WAL string `json:"wal,omitempty"`
 	// Params is the cell's parameter point.
 	Params Params `json:"params"`
 	// Paper carries the reference values when the scenario has a PaperRef.
@@ -100,16 +104,38 @@ type cellSpec struct {
 	params Params
 	nodes  int
 	paper  *PaperRefValues
+	wal    *walCell
+}
+
+// walCell is one resolved point on the durability axis.
+type walCell struct {
+	spec          *WALSpec
+	snapshotEvery int
+	// crashPoint is the crash offset as a fraction of the send window;
+	// 0 means the cell runs its WAL healthy.
+	crashPoint float64
+}
+
+func (c *walCell) label() string {
+	if c == nil {
+		return ""
+	}
+	return c.spec.Label(c.snapshotEvery, c.crashPoint)
 }
 
 // label renders the cell for progress events.
 func (c cellSpec) label() string {
+	var l string
 	if c.wl != nil {
-		return c.system + "/" + c.wl.Name()
+		l = c.system + "/" + c.wl.Name()
+	} else {
+		l = c.system + "/" + string(c.bench)
+		if c.nodes != 0 {
+			l += fmt.Sprintf("/nodes=%d", c.nodes)
+		}
 	}
-	l := c.system + "/" + string(c.bench)
-	if c.nodes != 0 {
-		l += fmt.Sprintf("/nodes=%d", c.nodes)
+	if c.wal != nil {
+		l += "/" + c.wal.label()
 	}
 	return l
 }
@@ -170,6 +196,12 @@ func Run(ctx context.Context, sc Scenario, o Options) (*Outcome, error) {
 		if cell.wl != nil {
 			row.Workload = cell.wl.Name()
 		}
+		if cell.wal != nil {
+			row.WAL = cell.wal.label()
+			if cell.wal.crashPoint > 0 {
+				row.Faults = "wal-crash"
+			}
+		}
 		out.Rows = append(out.Rows, row)
 		if o.Progress != nil {
 			r := res
@@ -229,7 +261,7 @@ func expandCells(sc Scenario, o Options) ([]cellSpec, error) {
 				}
 			}
 		}
-		return cells, nil
+		return expandWALAxis(sc, cells), nil
 	}
 
 	for _, system := range sc.systems() {
@@ -261,7 +293,32 @@ func expandCells(sc Scenario, o Options) ([]cellSpec, error) {
 			}
 		}
 	}
-	return cells, nil
+	return expandWALAxis(sc, cells), nil
+}
+
+// expandWALAxis crosses every cell with the scenario's durability axis
+// (snapshot intervals x crash points), innermost so the per-system blocks
+// of the expansion stay contiguous. Scenarios without a WAL pass through
+// untouched.
+func expandWALAxis(sc Scenario, cells []cellSpec) []cellSpec {
+	ws := sc.WAL
+	if ws == nil {
+		return cells
+	}
+	crashPoints := ws.CrashPoints
+	if len(crashPoints) == 0 {
+		crashPoints = []float64{0} // healthy WAL run
+	}
+	out := make([]cellSpec, 0, len(cells)*len(ws.snapshotIntervals())*len(crashPoints))
+	for _, cell := range cells {
+		for _, snap := range ws.snapshotIntervals() {
+			for _, cp := range crashPoints {
+				cell.wal = &walCell{spec: ws, snapshotEvery: snap, crashPoint: cp}
+				out = append(out, cell)
+			}
+		}
+	}
+	return out
 }
 
 // paramRows resolves the parameter points (and paired paper references)
@@ -328,6 +385,18 @@ func runCell(cell cellSpec, sc Scenario, o Options) (coconut.Result, error) {
 	if err != nil {
 		return coconut.Result{}, err
 	}
+	if cell.wal != nil {
+		var walSched *faults.Schedule
+		walSched, err = resolveWAL(cell.wal, &o)
+		if err != nil {
+			return coconut.Result{}, err
+		}
+		if walSched != nil {
+			// Validate rejected CrashPoints+Faults, so the synthesized
+			// schedule never collides with a scenario-level one.
+			sched, label = walSched, "wal-crash"
+		}
+	}
 
 	if cell.wl != nil {
 		return runWorkloadCell(cell.system, cell.wl, o, sc.threads(), cell.params.RL, sched, label)
@@ -357,6 +426,50 @@ func resolveFaults(f *FaultSpec, o Options) (*faults.Schedule, string, error) {
 		scaled.Events[i] = ev
 	}
 	return &scaled, f.Label(), nil
+}
+
+// resolveWAL turns one durability-axis point into concrete wal.Options on
+// the engine Options (threaded into every driver Config by NewDriverFunc)
+// plus, when the point carries a crash offset, a synthesized fault
+// schedule: crash the last node at the offset, damage its log when the
+// spec asks for corruption, restart at the spec's restart point. Durations
+// scale like every other paper-time value.
+func resolveWAL(wc *walCell, o *Options) (*faults.Schedule, error) {
+	ws := wc.spec
+	opts := wal.Options{
+		Fsync:         ws.Fsync,
+		BatchRecords:  ws.BatchRecords,
+		SnapshotEvery: wc.snapshotEvery,
+		Latency:       wal.DefaultLatency().Scaled(o.Scale),
+	}
+	if ws.BatchInterval != "" {
+		d, err := time.ParseDuration(ws.BatchInterval)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: bad WAL.BatchInterval %q: %w", ws.BatchInterval, err)
+		}
+		opts.BatchInterval = time.Duration(float64(d) * o.Scale)
+	}
+	o.WAL = &opts
+
+	if wc.crashPoint <= 0 {
+		return nil, nil
+	}
+	send := o.SendSeconds
+	target := o.Nodes - 1
+	evs := []faults.Event{
+		{At: o.paperDur(wc.crashPoint * send), Kind: faults.CrashNode, Node: target},
+	}
+	if ws.Corruption != "" {
+		kind := faults.TornWrite
+		if ws.Corruption == "corrupt-record" {
+			kind = faults.CorruptRecord
+		}
+		// One paper-second after the crash: inside the outage window, and
+		// unambiguously ordered after the crash for Schedule.Validate.
+		evs = append(evs, faults.Event{At: o.paperDur(wc.crashPoint*send + 1), Kind: kind, Node: target})
+	}
+	evs = append(evs, faults.Event{At: o.paperDur(ws.restartPoint() * send), Kind: faults.RestartNode, Node: target})
+	return &faults.Schedule{Events: evs}, nil
 }
 
 // runUnitCell runs one paper-benchmark cell: the whole §4.1 unit executes

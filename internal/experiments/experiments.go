@@ -35,6 +35,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/systems/fabric"
 	"github.com/coconut-bench/coconut/internal/systems/quorum"
 	"github.com/coconut-bench/coconut/internal/systems/sawtooth"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // Options control an experiment run.
@@ -63,6 +64,10 @@ type Options struct {
 	// clock, "virtual" on the auto-advancing simulated clock, which makes
 	// every cell CPU-bound and bit-deterministic at a fixed seed.
 	Time string
+	// WAL, when set, runs every node's commit plane through a write-ahead
+	// log with these options (latencies pre-scaled). The engine fills it
+	// from the scenario's WAL axis; nil runs the no-WAL hot path.
+	WAL *wal.Options
 	// Progress, when set, streams one event per scenario cell start and
 	// completion from the engine (Run). It replaces the io.Writer
 	// side-channels the pre-scenario runners threaded through every call.
@@ -251,6 +256,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				EventLossAtPeers: 16, // paper §5.8.2: clients get no confirmations at >= 16 peers
 				Transport:        tr,
 				Clock:            clk,
+				WAL:              o.WAL,
 			})
 		}, nil
 
@@ -288,6 +294,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				StallQueueLimit:  stallLimit,
 				Transport:        tr,
 				Clock:            clk,
+				WAL:              o.WAL,
 			})
 		}, nil
 
@@ -319,6 +326,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				PendingStallAtValidators: 16, // paper §5.8.2: txs stay pending at >= 16 validators
 				Transport:                tr,
 				Clock:                    clk,
+				WAL:                      o.WAL,
 			})
 		}, nil
 
@@ -348,6 +356,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				SpikeDuration: 650 * time.Millisecond,
 				Transport:     tr,
 				Clock:         clk,
+				WAL:           o.WAL,
 			})
 		}, nil
 
@@ -379,6 +388,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Transport:         tr,
 				Clock:             clk,
 				Seed:              o.Seed,
+				WAL:               o.WAL,
 			})
 		}, nil
 
@@ -396,6 +406,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				FlowTimeout:    10 * time.Second,
 				Latency:        o.latency(),
 				Clock:          clk,
+				WAL:            o.WAL,
 			})
 		}, nil
 
@@ -410,6 +421,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				FlowTimeout:    10 * time.Second,
 				Latency:        o.latency(),
 				Clock:          clk,
+				WAL:            o.WAL,
 			})
 		}, nil
 

@@ -104,6 +104,21 @@ func Registry() []Scenario {
 		},
 	}
 
+	scs = append(scs, Scenario{
+		Name: "recovery-cost",
+		Description: "crash-replay cost vs log length: DoNothing on all seven systems with a WAL, " +
+			"sweeping crash points x snapshot intervals (replay time scales with the log at the crash)",
+		Systems:    FaultScenarioSystems,
+		Benchmarks: []string{string(coconut.BenchDoNothing)},
+		Rate:       200,
+		WAL: &WALSpec{
+			Fsync:         "always",
+			SnapshotEvery: []int{0, 64},
+			CrashPoints:   []float64{0.45, 0.6, 0.75},
+			RestartPoint:  0.9,
+		},
+	})
+
 	for _, preset := range faults.PresetNames() {
 		scs = append(scs, Scenario{
 			Name:        "faults-" + preset,

@@ -5,9 +5,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/faults"
+	"github.com/coconut-bench/coconut/internal/wal"
 	"github.com/coconut-bench/coconut/internal/workload"
 )
 
@@ -68,6 +70,9 @@ type Scenario struct {
 	Threads int `json:"threads,omitempty"`
 	// Faults injects a chaos schedule into every benchmark phase.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// WAL runs every node on a write-ahead log and optionally sweeps the
+	// durability axis: fsync policy x snapshot interval x crash schedule.
+	WAL *WALSpec `json:"wal,omitempty"`
 	// Repetitions overrides Options.Repetitions when > 0.
 	Repetitions int `json:"repetitions,omitempty"`
 	// Seed overrides Options.Seed when != 0.
@@ -132,6 +137,72 @@ func (f *FaultSpec) Label() string {
 		return f.Preset
 	}
 	return "inline"
+}
+
+// WALSpec is the durability axis of a scenario: every node's commit plane
+// runs through an internal/wal log, and the sweep dimensions below expand
+// like any other axis. Durations are paper-time and scale with the engine.
+type WALSpec struct {
+	// Fsync is the log's sync policy ("always", "batch", "never"); empty
+	// means "always".
+	Fsync string `json:"fsync,omitempty"`
+	// BatchRecords and BatchInterval tune the "batch" policy (sync every N
+	// records or after the interval, whichever first); both require
+	// Fsync == "batch". Zero values take the wal package defaults.
+	BatchRecords  int    `json:"batchRecords,omitempty"`
+	BatchInterval string `json:"batchInterval,omitempty"`
+	// SnapshotEvery sweeps the snapshot/compaction interval in records per
+	// node (0 = never snapshot); empty means [0].
+	SnapshotEvery []int `json:"snapshotEvery,omitempty"`
+	// CrashPoints sweeps crash offsets as fractions of the send window in
+	// (0, 1): each point synthesizes a crash of the last node at that
+	// offset with a restart at RestartPoint, so recovery cost can be
+	// measured against log length. Empty means no crashes. Mutually
+	// exclusive with Faults (one schedule owner per scenario).
+	CrashPoints []float64 `json:"crashPoints,omitempty"`
+	// RestartPoint is the restart offset as a fraction of the send window;
+	// 0 defaults to 0.85. Every CrashPoints entry must fall before it.
+	RestartPoint float64 `json:"restartPoint,omitempty"`
+	// Corruption damages the crashed node's log before its restart:
+	// "torn-write" truncates the final record mid-frame, "corrupt-record"
+	// flips bytes mid-log. Requires CrashPoints.
+	Corruption string `json:"corruption,omitempty"`
+}
+
+func (ws *WALSpec) snapshotIntervals() []int {
+	if ws == nil || len(ws.SnapshotEvery) == 0 {
+		return []int{0}
+	}
+	return ws.SnapshotEvery
+}
+
+func (ws *WALSpec) restartPoint() float64 {
+	if ws == nil || ws.RestartPoint == 0 {
+		return 0.85
+	}
+	return ws.RestartPoint
+}
+
+// Label renders the WAL axis for result rows.
+func (ws *WALSpec) Label(snapshotEvery int, crashPoint float64) string {
+	if ws == nil {
+		return ""
+	}
+	fsync := ws.Fsync
+	if fsync == "" {
+		fsync = wal.FsyncAlways
+	}
+	l := "fsync=" + fsync
+	if snapshotEvery > 0 {
+		l += fmt.Sprintf("/snap=%d", snapshotEvery)
+	}
+	if crashPoint > 0 {
+		l += fmt.Sprintf("/crash=%.2f", crashPoint)
+	}
+	if ws.Corruption != "" {
+		l += "/" + ws.Corruption
+	}
+	return l
 }
 
 // ParseScenario decodes a Scenario from JSON, rejecting unknown fields so
@@ -291,6 +362,53 @@ func (s Scenario) Validate() error {
 		}
 	}
 
+	if ws := s.WAL; ws != nil {
+		if !wal.ValidFsync(ws.Fsync) {
+			return fail("unknown WAL.Fsync %q (want %s, %s, or %s)", ws.Fsync, wal.FsyncAlways, wal.FsyncBatch, wal.FsyncNever)
+		}
+		if (ws.BatchRecords != 0 || ws.BatchInterval != "") && ws.Fsync != wal.FsyncBatch {
+			return fail("WAL.BatchRecords/BatchInterval require Fsync %q, got %q", wal.FsyncBatch, ws.Fsync)
+		}
+		if ws.BatchRecords < 0 {
+			return fail("WAL.BatchRecords %d is negative", ws.BatchRecords)
+		}
+		if ws.BatchInterval != "" {
+			if d, err := time.ParseDuration(ws.BatchInterval); err != nil {
+				return fail("bad WAL.BatchInterval %q (want a duration like \"250ms\"): %v", ws.BatchInterval, err)
+			} else if d <= 0 {
+				return fail("WAL.BatchInterval %q is not positive", ws.BatchInterval)
+			}
+		}
+		for _, n := range ws.SnapshotEvery {
+			if n < 0 {
+				return fail("WAL.SnapshotEvery entry %d is negative", n)
+			}
+		}
+		rp := ws.restartPoint()
+		if rp <= 0 || rp > 1 {
+			return fail("WAL.RestartPoint %.2f outside (0, 1]", ws.RestartPoint)
+		}
+		for _, cp := range ws.CrashPoints {
+			if cp <= 0 || cp >= 1 {
+				return fail("WAL.CrashPoints entry %.2f outside (0, 1)", cp)
+			}
+			if cp >= rp {
+				return fail("WAL.CrashPoints entry %.2f is not before RestartPoint %.2f", cp, rp)
+			}
+		}
+		if len(ws.CrashPoints) > 0 && s.Faults != nil {
+			return fail("WAL.CrashPoints and Faults conflict: crash points synthesize their own schedule — inline WAL crashes into Faults.Schedule or drop one axis")
+		}
+		switch ws.Corruption {
+		case "", "torn-write", "corrupt-record":
+		default:
+			return fail("unknown WAL.Corruption %q (want torn-write or corrupt-record)", ws.Corruption)
+		}
+		if ws.Corruption != "" && len(ws.CrashPoints) == 0 {
+			return fail("WAL.Corruption %q requires CrashPoints: log damage is only observable across a crash and restart", ws.Corruption)
+		}
+	}
+
 	if s.PaperRef != "" {
 		switch {
 		case s.PaperRef == "figure3" || s.PaperRef == "figure4" || s.PaperRef == "figure5":
@@ -353,7 +471,7 @@ func (s Scenario) threads() int {
 	if s.Threads > 0 {
 		return s.Threads
 	}
-	if s.Workload != nil || s.Faults != nil {
+	if s.Workload != nil || s.Faults != nil || s.WAL != nil {
 		return 4
 	}
 	return benchGridThreads

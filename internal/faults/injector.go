@@ -7,6 +7,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // TransportAccessor is implemented by drivers whose nodes communicate over
@@ -20,6 +21,17 @@ type TransportAccessor interface {
 	// NodeEndpoints returns the transport endpoints owned by node i (nil
 	// when the node has none).
 	NodeEndpoints(node int) []string
+}
+
+// WALAccessor is implemented by drivers whose nodes persist through an
+// internal/wal log, giving the injector record-level access for TornWrite
+// and CorruptRecord events. Drivers running without a WAL (or not
+// implementing the accessor) turn log-corruption events into no-ops —
+// graceful degradation, never a panic.
+type WALAccessor interface {
+	// NodeWAL returns node i's write-ahead log, or nil when the node has
+	// none (WAL disabled or node out of range).
+	NodeWAL(node int) *wal.Log
 }
 
 // Applied records one event the injector actually applied, with the clock
@@ -170,6 +182,10 @@ func (in *Injector) Apply(ev Event) error {
 		if !in.degrade(Event{Kind: SlowNode, Group: []int{ev.Node}, Extra: ev.Extra, Loss: ev.Loss}) {
 			return nil
 		}
+	case TornWrite, CorruptRecord:
+		if !in.corruptLog(ev) {
+			return nil // no WAL to corrupt: nothing was applied
+		}
 	}
 	if err == nil {
 		in.applied = append(in.applied, Applied{Event: ev, At: in.clk.Now()})
@@ -206,6 +222,25 @@ func (in *Injector) degrade(ev Event) bool {
 	}
 	in.degraded = true
 	return true
+}
+
+// corruptLog applies a TornWrite or CorruptRecord to the target node's WAL.
+// It reports whether anything was damaged: drivers without a WALAccessor, a
+// nil log, or a log too short to corrupt all decay to no-ops. Callers hold
+// in.mu.
+func (in *Injector) corruptLog(ev Event) bool {
+	wa, ok := in.drv.(WALAccessor)
+	if !ok {
+		return false // no durable plane to corrupt
+	}
+	log := wa.NodeWAL(ev.Node)
+	if log == nil {
+		return false
+	}
+	if ev.Kind == TornWrite {
+		return log.InjectTornWrite()
+	}
+	return log.InjectCorruptRecord()
 }
 
 // restoreAll returns the system to full health.

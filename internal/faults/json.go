@@ -15,21 +15,23 @@ import (
 // kindNames maps serialized names back to kinds; it is the inverse of
 // Kind.String over the valid kinds.
 var kindNames = map[string]Kind{
-	"crash":     CrashNode,
-	"restart":   RestartNode,
-	"partition": Partition,
-	"heal":      Heal,
-	"degrade":   DegradeLink,
-	"slow":      SlowNode,
+	"crash":          CrashNode,
+	"restart":        RestartNode,
+	"partition":      Partition,
+	"heal":           Heal,
+	"degrade":        DegradeLink,
+	"slow":           SlowNode,
+	"torn-write":     TornWrite,
+	"corrupt-record": CorruptRecord,
 }
 
 // ParseKind resolves a serialized kind name ("crash", "restart",
-// "partition", "heal", "degrade", "slow").
+// "partition", "heal", "degrade", "slow", "torn-write", "corrupt-record").
 func ParseKind(name string) (Kind, error) {
 	if k, ok := kindNames[name]; ok {
 		return k, nil
 	}
-	return 0, fmt.Errorf("faults: unknown event kind %q (want crash, restart, partition, heal, degrade, or slow)", name)
+	return 0, fmt.Errorf("faults: unknown event kind %q (want crash, restart, partition, heal, degrade, slow, torn-write, or corrupt-record)", name)
 }
 
 // MarshalJSON implements json.Marshaler: kinds serialize as their names.

@@ -44,6 +44,17 @@ const (
 	DegradeLink
 	// SlowNode degrades every link to and from one node's endpoints.
 	SlowNode
+	// TornWrite truncates the final WAL record of a crashed node mid-frame,
+	// modeling a power cut during a partially flushed write. Replay stops at
+	// the last valid prefix and the node re-fetches the suffix on restart.
+	// Only meaningful between a CrashNode and its RestartNode, and only when
+	// the run has a WAL configured; otherwise a no-op.
+	TornWrite
+	// CorruptRecord flips bytes inside a mid-log WAL record of a crashed
+	// node, modeling latent media corruption. CRC verification stops replay
+	// at the last valid prefix; the corrupted suffix is re-fetched on
+	// restart. Same applicability rules as TornWrite.
+	CorruptRecord
 )
 
 // String implements fmt.Stringer.
@@ -61,6 +72,10 @@ func (k Kind) String() string {
 		return "degrade"
 	case SlowNode:
 		return "slow"
+	case TornWrite:
+		return "torn-write"
+	case CorruptRecord:
+		return "corrupt-record"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -116,7 +131,7 @@ func (s Schedule) Validate(runLen time.Duration, nodes int) error {
 			return fmt.Errorf("faults: event %d (%s) at %v is past the run end %v", i, ev.Kind, ev.At, runLen)
 		}
 		switch ev.Kind {
-		case CrashNode, RestartNode, SlowNode:
+		case CrashNode, RestartNode, SlowNode, TornWrite, CorruptRecord:
 			if ev.Node < 0 || ev.Node >= nodes {
 				return fmt.Errorf("faults: event %d (%s) targets node %d of %d", i, ev.Kind, ev.Node, nodes)
 			}
@@ -160,6 +175,10 @@ func (s Schedule) Validate(runLen time.Duration, nodes int) error {
 			partitioned = true
 		case Heal:
 			partitioned = false
+		case TornWrite, CorruptRecord:
+			if !crashed[ev.Node] {
+				return fmt.Errorf("faults: event %d (%s) targets node %d, which is not crashed — log corruption only applies between a crash and its restart", i, ev.Kind, ev.Node)
+			}
 		}
 	}
 	return nil

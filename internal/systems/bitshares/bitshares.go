@@ -32,6 +32,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // Config parameterizes a BitShares network.
@@ -56,6 +57,9 @@ type Config struct {
 	Clock clock.Clock
 	// Seed randomizes the witness schedule deterministically.
 	Seed int64
+	// WAL, when set, mounts a write-ahead log on every node's commit gate
+	// (see systems.DurableGate).
+	WAL *wal.Options
 }
 
 func (c *Config) fill() {
@@ -80,7 +84,7 @@ type node struct {
 	engine  *dpos.Engine
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
-	gate    systems.NodeGate
+	gate    systems.DurableGate
 }
 
 // Network is a full BitShares deployment.
@@ -141,6 +145,9 @@ func New(cfg Config) *Network {
 			hubNode: n.hub.Node(names[i]),
 			ledger:  chain.NewLedger("bitshares"),
 			state:   statestore.NewKVStore(),
+		}
+		if cfg.WAL != nil {
+			nd.gate.Enable(cfg.Clock, wal.New(names[i], *cfg.WAL, cfg.Clock))
 		}
 		nd.engine = dpos.New(dpos.Config{
 			ID:            nd.id,
@@ -289,7 +296,11 @@ func (n *Network) conflictFilter(items []any) (included, excluded []any) {
 // (Graphene's chain resync).
 func (n *Network) makeDecideFunc(nd *node) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		nd.gate.Do(func() { n.applyDecision(nd, d) })
+		txs := 0
+		if blk, ok := d.Payload.(dpos.ProducedBlock); ok {
+			txs = len(blk.Items)
+		}
+		nd.gate.Commit(txs, func() { n.applyDecision(nd, d) })
 	}
 }
 
@@ -360,6 +371,25 @@ func (n *Network) RestartNode(node int) error {
 
 // FaultTransport exposes the shared fabric for link-level fault injection.
 func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeWAL implements faults.WALAccessor: node i's write-ahead log, or nil
+// when durability is disabled.
+func (n *Network) NodeWAL(node int) *wal.Log {
+	if node < 0 || node >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[node].gate.WAL()
+}
+
+// RecoveryStats implements systems.RecoveryReporter: the durability plane's
+// counters summed across nodes.
+func (n *Network) RecoveryStats() (systems.RecoveryStats, bool) {
+	var rs systems.RecoveryStats
+	for i := range n.nodes {
+		rs = rs.Add(n.nodes[i].gate.Stats())
+	}
+	return rs, n.cfg.WAL != nil
+}
 
 // NodeEndpoints maps node i to its transport endpoint.
 func (n *Network) NodeEndpoints(node int) []string {

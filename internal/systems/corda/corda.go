@@ -35,6 +35,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/iel"
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // Edition selects the Corda variant.
@@ -96,6 +97,10 @@ type Config struct {
 	Latency network.LatencyModel
 	// Clock drives timers and simulated processing.
 	Clock clock.Clock
+	// WAL, when set, mounts a write-ahead log on every node's commit gate:
+	// each finalised flow's vault application is durably recorded before it
+	// applies (see systems.DurableGate).
+	WAL *wal.Options
 }
 
 func (c *Config) fill() {
@@ -151,7 +156,7 @@ type node struct {
 	hubNode *systems.HubNode
 	vault   *chain.Vault
 	queue   *clock.Mailbox[flowJob]
-	gate    systems.NodeGate
+	gate    systems.DurableGate
 }
 
 // Network is a full Corda deployment (either edition).
@@ -190,12 +195,16 @@ func New(cfg Config) *Network {
 	}
 	for i := 0; i < cfg.Nodes; i++ {
 		id := fmt.Sprintf("corda-node-%d", i)
-		n.nodes = append(n.nodes, &node{
+		nd := &node{
 			id:      id,
 			hubNode: n.hub.Node(id),
 			vault:   chain.NewVault(),
 			queue:   clock.NewMailbox[flowJob](cfg.Clock, cfg.QueueDepth),
-		})
+		}
+		if cfg.WAL != nil {
+			nd.gate.Enable(cfg.Clock, wal.New(id, *cfg.WAL, cfg.Clock))
+		}
+		n.nodes = append(n.nodes, nd)
 		n.signers[id] = crypto.NewIdentity(id)
 	}
 	return n
@@ -397,8 +406,10 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 			n.cfg.Clock.Sleep(n.cfg.Latency.Delay(entry.id, nd.id))
 		}
 		// A node that crashed between signing and finality receives the
-		// states when it restarts (Corda's message-queue redelivery).
-		nd.gate.Do(func() {
+		// states when it restarts (Corda's message-queue redelivery). Each
+		// flow is one WAL record: Corda persists per transaction, not per
+		// block.
+		nd.gate.Commit(1, func() {
 			if err := nd.vault.Apply(utx); err != nil {
 				if !failed.Swap(true) {
 					n.recordFailure(err)
@@ -794,3 +805,22 @@ func (n *Network) LossStats() (dropped, timedOut, failed uint64) {
 
 // VaultSize reports node i's unspent state count.
 func (n *Network) VaultSize(i int) int { return n.nodes[i%len(n.nodes)].vault.UnspentCount() }
+
+// NodeWAL implements faults.WALAccessor: node i's write-ahead log, or nil
+// when durability is disabled.
+func (n *Network) NodeWAL(node int) *wal.Log {
+	if node < 0 || node >= len(n.nodes) {
+		return nil
+	}
+	return n.nodes[node].gate.WAL()
+}
+
+// RecoveryStats implements systems.RecoveryReporter: the durability plane's
+// counters summed across nodes.
+func (n *Network) RecoveryStats() (systems.RecoveryStats, bool) {
+	var rs systems.RecoveryStats
+	for i := range n.nodes {
+		rs = rs.Add(n.nodes[i].gate.Stats())
+	}
+	return rs, n.cfg.WAL != nil
+}

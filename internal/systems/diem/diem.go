@@ -29,6 +29,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // Config parameterizes a Diem network.
@@ -51,6 +52,9 @@ type Config struct {
 	Transport *network.Transport
 	// Clock drives timers.
 	Clock clock.Clock
+	// WAL, when set, mounts a write-ahead log on every validator's commit
+	// gate (see systems.DurableGate).
+	WAL *wal.Options
 }
 
 func (c *Config) fill() {
@@ -89,7 +93,7 @@ type validator struct {
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
 	pool    *mempool.Pool[*chain.Transaction]
-	gate    systems.NodeGate
+	gate    systems.DurableGate
 
 	mu         sync.Mutex
 	spikeUntil time.Time
@@ -138,6 +142,9 @@ func New(cfg Config) *Network {
 			pool:    mempool.NewBounded[*chain.Transaction](cfg.MempoolDepth),
 		}
 		v.lastSpike = cfg.Clock.Now()
+		if cfg.WAL != nil {
+			v.gate.Enable(cfg.Clock, wal.New(names[i], *cfg.WAL, cfg.Clock))
+		}
 		v.engine = diembft.New(diembft.Config{
 			ID:            v.id,
 			Validators:    names,
@@ -262,7 +269,11 @@ func (n *Network) spiking(v *validator) bool {
 // restart (Diem's state sync).
 func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		v.gate.Do(func() { n.applyDecision(v, d) })
+		txs := 0
+		if blk, ok := d.Payload.(proposedBlock); ok {
+			txs = len(blk.Txs)
+		}
+		v.gate.Commit(txs, func() { n.applyDecision(v, d) })
 	}
 }
 
@@ -334,6 +345,25 @@ func (n *Network) RestartNode(node int) error {
 
 // FaultTransport exposes the shared fabric for link-level fault injection.
 func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeWAL implements faults.WALAccessor: validator i's write-ahead log, or
+// nil when durability is disabled.
+func (n *Network) NodeWAL(node int) *wal.Log {
+	if node < 0 || node >= len(n.validators) {
+		return nil
+	}
+	return n.validators[node].gate.WAL()
+}
+
+// RecoveryStats implements systems.RecoveryReporter: the durability plane's
+// counters summed across validators.
+func (n *Network) RecoveryStats() (systems.RecoveryStats, bool) {
+	var rs systems.RecoveryStats
+	for i := range n.validators {
+		rs = rs.Add(n.validators[i].gate.Stats())
+	}
+	return rs, n.cfg.WAL != nil
+}
 
 // NodeEndpoints maps validator i to its transport endpoint.
 func (n *Network) NodeEndpoints(node int) []string {

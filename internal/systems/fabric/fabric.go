@@ -29,6 +29,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // Config parameterizes a Fabric network.
@@ -64,6 +65,9 @@ type Config struct {
 	Transport *network.Transport
 	// Clock drives timers.
 	Clock clock.Clock
+	// WAL, when set, mounts a write-ahead log on every peer's commit gate
+	// (see systems.DurableGate).
+	WAL *wal.Options
 }
 
 func (c *Config) fill() {
@@ -109,7 +113,7 @@ type peer struct {
 	hubNode *systems.HubNode
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
-	gate    systems.NodeGate
+	gate    systems.DurableGate
 }
 
 // orderer couples an ordering-backend handle with a block cutter. With the
@@ -158,12 +162,16 @@ func New(cfg Config) *Network {
 
 	for i := 0; i < cfg.Peers; i++ {
 		id := fmt.Sprintf("fabric-peer-%d", i)
-		n.peers = append(n.peers, &peer{
+		p := &peer{
 			id:      id,
 			hubNode: n.hub.Node(id),
 			ledger:  chain.NewLedger("fabric"),
 			state:   statestore.NewKVStore(),
-		})
+		}
+		if cfg.WAL != nil {
+			p.gate.Enable(cfg.Clock, wal.New(id, *cfg.WAL, cfg.Clock))
+		}
+		n.peers = append(n.peers, p)
 	}
 
 	ordererIDs := make([]string, cfg.Orderers)
@@ -418,7 +426,7 @@ func (n *Network) commitBlock(seq uint64, batch cutBatch) {
 	}
 	for _, p := range n.peers {
 		p := p
-		p.gate.Do(func() { n.commitOnPeer(p, batch) })
+		p.gate.Commit(len(batch.Envelopes), func() { n.commitOnPeer(p, batch) })
 	}
 }
 
@@ -519,6 +527,25 @@ func (n *Network) RestartNode(node int) error {
 
 // FaultTransport exposes the shared fabric for link-level fault injection.
 func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeWAL implements faults.WALAccessor: peer i's write-ahead log, or nil
+// when durability is disabled.
+func (n *Network) NodeWAL(node int) *wal.Log {
+	if node < 0 || node >= len(n.peers) {
+		return nil
+	}
+	return n.peers[node].gate.WAL()
+}
+
+// RecoveryStats implements systems.RecoveryReporter: the durability plane's
+// counters summed across peers.
+func (n *Network) RecoveryStats() (systems.RecoveryStats, bool) {
+	var rs systems.RecoveryStats
+	for i := range n.peers {
+		rs = rs.Add(n.peers[i].gate.Stats())
+	}
+	return rs, n.cfg.WAL != nil
+}
 
 // NodeEndpoints maps node (server) index i to its transport endpoints. The
 // paper co-locates orderer i on server i (Table 4: orderers on servers

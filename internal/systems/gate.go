@@ -25,6 +25,10 @@ type NodeGate struct {
 	// prefix) and a concurrent Restart is a no-op instead of a double
 	// replay.
 	replaying bool
+	// inflight counts the not-yet-applied remainder of the batch a Restart
+	// drain swapped out of backlog. Without it, Backlog reports 0 while
+	// replay work is still pending.
+	inflight int
 }
 
 // Do runs f immediately when the gate is open, or buffers it for replay
@@ -74,9 +78,13 @@ func (g *NodeGate) Restart() int {
 	for len(g.backlog) > 0 {
 		batch := g.backlog
 		g.backlog = nil
+		g.inflight = len(batch)
 		g.mu.Unlock()
-		for _, f := range batch {
+		for i, f := range batch {
 			f()
+			g.mu.Lock()
+			g.inflight = len(batch) - i - 1
+			g.mu.Unlock()
 		}
 		n += len(batch)
 		g.mu.Lock()
@@ -94,9 +102,11 @@ func (g *NodeGate) Down() bool {
 	return g.down
 }
 
-// Backlog reports how much commit work is buffered for replay.
+// Backlog reports how much commit work is still pending: buffered items
+// plus the in-flight remainder of a batch an in-progress Restart drain has
+// swapped out but not yet applied.
 func (g *NodeGate) Backlog() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	return len(g.backlog)
+	return len(g.backlog) + g.inflight
 }

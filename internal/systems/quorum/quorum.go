@@ -30,6 +30,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // Config parameterizes a Quorum network.
@@ -51,6 +52,10 @@ type Config struct {
 	Transport *network.Transport
 	// Clock drives timers.
 	Clock clock.Clock
+	// WAL, when set, mounts a write-ahead log on every validator's commit
+	// gate: decided blocks are durably recorded before applying, and
+	// restart replays the log instead of recovery being free.
+	WAL *wal.Options
 }
 
 func (c *Config) fill() {
@@ -86,7 +91,7 @@ type validator struct {
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
 	pool    *mempool.Pool[*chain.Transaction]
-	gate    systems.NodeGate
+	gate    systems.DurableGate
 
 	mu      sync.Mutex
 	seen    map[crypto.Hash]bool
@@ -138,6 +143,9 @@ func New(cfg Config) *Network {
 			state:   statestore.NewKVStore(),
 			pool:    mempool.NewUnbounded[*chain.Transaction](),
 			seen:    make(map[crypto.Hash]bool),
+		}
+		if cfg.WAL != nil {
+			v.gate.Enable(cfg.Clock, wal.New(names[i], *cfg.WAL, cfg.Clock))
 		}
 		v.engine = ibft.New(ibft.Config{
 			ID:         v.id,
@@ -331,10 +339,16 @@ func (n *Network) produce(v *validator) {
 
 // makeDecideFunc builds the order-execute commit pipeline for validator v.
 // The commit plane is gated per validator: while v is crashed its decided
-// blocks buffer, and RestartNode replays them in decision order.
+// blocks buffer, and RestartNode replays them in decision order. With a
+// WAL mounted, the block's record is appended before it applies (an empty
+// block still writes a header-only record).
 func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		v.gate.Do(func() { n.applyDecision(v, d) })
+		txs := 0
+		if blk, ok := d.Payload.(producedBlock); ok {
+			txs = len(blk.Txs)
+		}
+		v.gate.Commit(txs, func() { n.applyDecision(v, d) })
 	}
 }
 
@@ -491,6 +505,25 @@ func (n *Network) RestartNode(node int) error {
 
 // FaultTransport exposes the shared fabric for link-level fault injection.
 func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeWAL implements faults.WALAccessor: validator i's write-ahead log, or
+// nil when durability is disabled.
+func (n *Network) NodeWAL(node int) *wal.Log {
+	if node < 0 || node >= len(n.validators) {
+		return nil
+	}
+	return n.validators[node].gate.WAL()
+}
+
+// RecoveryStats implements systems.RecoveryReporter: the durability plane's
+// counters summed across validators.
+func (n *Network) RecoveryStats() (systems.RecoveryStats, bool) {
+	var rs systems.RecoveryStats
+	for i := range n.validators {
+		rs = rs.Add(n.validators[i].gate.Stats())
+	}
+	return rs, n.cfg.WAL != nil
+}
 
 // NodeEndpoints maps validator i to its transport endpoints (IBFT plus tx
 // gossip).

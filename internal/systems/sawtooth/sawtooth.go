@@ -33,6 +33,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/wal"
 )
 
 // Config parameterizes a Sawtooth network.
@@ -57,6 +58,9 @@ type Config struct {
 	Transport *network.Transport
 	// Clock drives timers.
 	Clock clock.Clock
+	// WAL, when set, mounts a write-ahead log on every validator's commit
+	// gate (see systems.DurableGate).
+	WAL *wal.Options
 }
 
 func (c *Config) fill() {
@@ -92,7 +96,7 @@ type validator struct {
 	ledger  *chain.Ledger
 	state   *statestore.KVStore
 	queue   *mempool.Pool[*chain.Batch]
-	gate    systems.NodeGate
+	gate    systems.DurableGate
 
 	mu   sync.Mutex
 	seen map[crypto.Hash]bool
@@ -147,6 +151,9 @@ func New(cfg Config) *Network {
 			state:   statestore.NewKVStore(),
 			queue:   mempool.NewBounded[*chain.Batch](cfg.QueueDepth),
 			seen:    make(map[crypto.Hash]bool),
+		}
+		if cfg.WAL != nil {
+			v.gate.Enable(cfg.Clock, wal.New(names[i], *cfg.WAL, cfg.Clock))
 		}
 		v.engine = pbft.New(pbft.Config{
 			ID:        v.id,
@@ -352,7 +359,13 @@ func (n *Network) publishLoop() {
 // them on restart (Sawtooth's catch-up).
 func (n *Network) makeDecideFunc(v *validator) consensus.DecideFunc {
 	return func(d consensus.Decision) {
-		v.gate.Do(func() { n.applyDecision(v, d) })
+		txs := 0
+		if blk, ok := d.Payload.(publishedBlock); ok {
+			for _, b := range blk.Batches {
+				txs += len(b.Txs)
+			}
+		}
+		v.gate.Commit(txs, func() { n.applyDecision(v, d) })
 	}
 }
 
@@ -496,6 +509,25 @@ func (n *Network) RestartNode(node int) error {
 
 // FaultTransport exposes the shared fabric for link-level fault injection.
 func (n *Network) FaultTransport() *network.Transport { return n.transport }
+
+// NodeWAL implements faults.WALAccessor: validator i's write-ahead log, or
+// nil when durability is disabled.
+func (n *Network) NodeWAL(node int) *wal.Log {
+	if node < 0 || node >= len(n.validators) {
+		return nil
+	}
+	return n.validators[node].gate.WAL()
+}
+
+// RecoveryStats implements systems.RecoveryReporter: the durability plane's
+// counters summed across validators.
+func (n *Network) RecoveryStats() (systems.RecoveryStats, bool) {
+	var rs systems.RecoveryStats
+	for i := range n.validators {
+		rs = rs.Add(n.validators[i].gate.Stats())
+	}
+	return rs, n.cfg.WAL != nil
+}
 
 // NodeEndpoints maps validator i to its transport endpoints (PBFT plus
 // batch gossip).

@@ -1,0 +1,233 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/clock"
+)
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	l := New("n0", Options{Fsync: FsyncAlways}, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < 10; i++ {
+		res := l.Append(i % 4)
+		if !res.Synced {
+			t.Fatalf("append %d: always policy must sync", i)
+		}
+		if res.Latency <= 0 {
+			t.Fatalf("append %d: modeled latency must be positive", i)
+		}
+	}
+	rep := l.Replay()
+	if rep.Records != 10 || rep.Lost != 0 {
+		t.Fatalf("replay = %+v, want 10 records, 0 lost", rep)
+	}
+	if rep.Latency <= 0 {
+		t.Fatalf("replay latency must be positive, got %v", rep.Latency)
+	}
+	st := l.Stats()
+	if st.AppendedRecords != 10 || st.LiveRecords != 10 || st.LostRecords != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCrashDropsUnsyncedTail(t *testing.T) {
+	l := New("n0", Options{Fsync: FsyncBatch, BatchRecords: 4}, clock.NewVirtual(time.Unix(0, 0)))
+	synced := 0
+	for i := 0; i < 10; i++ {
+		if l.Append(1).Synced {
+			synced++
+		}
+	}
+	if synced != 2 {
+		t.Fatalf("batch(4) over 10 appends synced %d times, want 2", synced)
+	}
+	// 8 durable, 2 pending: a crash loses exactly the pending tail.
+	if lost := l.Crash(); lost != 2 {
+		t.Fatalf("crash lost %d records, want 2", lost)
+	}
+	rep := l.Replay()
+	if rep.Records != 8 || rep.Lost != 0 {
+		t.Fatalf("post-crash replay = %+v, want 8 valid records", rep)
+	}
+	// The log is repaired: appends continue from the valid prefix.
+	l.Append(1)
+	if rep := l.Replay(); rep.Records != 9 {
+		t.Fatalf("append after crash: replay %d records, want 9", rep.Records)
+	}
+}
+
+func TestFsyncNeverLosesEverythingSinceSnapshot(t *testing.T) {
+	l := New("n0", Options{Fsync: FsyncNever}, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < 5; i++ {
+		l.Append(1)
+	}
+	l.Snapshot()
+	for i := 0; i < 3; i++ {
+		if l.Append(1).Synced {
+			t.Fatal("never policy must not sync on append")
+		}
+	}
+	if lost := l.Crash(); lost != 3 {
+		t.Fatalf("crash lost %d, want all 3 post-snapshot records", lost)
+	}
+	if rep := l.Replay(); rep.Records != 0 {
+		t.Fatalf("replay after snapshot+crash = %d records, want 0", rep.Records)
+	}
+}
+
+func TestBatchIntervalTriggersSync(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(0, 0))
+	l := New("n0", Options{Fsync: FsyncBatch, BatchRecords: 100, BatchInterval: 10 * time.Millisecond}, clk)
+	if l.Append(1).Synced {
+		t.Fatal("first append must not sync")
+	}
+	clk.Advance(20 * time.Millisecond)
+	if !l.Append(1).Synced {
+		t.Fatal("append after BatchInterval must sync")
+	}
+}
+
+func TestSegmentRotationAndSnapshotCompaction(t *testing.T) {
+	l := New("n0", Options{Fsync: FsyncAlways, SegmentBytes: 256, SnapshotEvery: 50}, clock.NewVirtual(time.Unix(0, 0)))
+	snapped := false
+	for i := 0; i < 120; i++ {
+		if l.Append(1).Snapshotted {
+			snapped = true
+		}
+	}
+	if !snapped {
+		t.Fatal("SnapshotEvery=50 over 120 appends must snapshot")
+	}
+	st := l.Stats()
+	if st.Snapshots != 2 {
+		t.Fatalf("snapshots = %d, want 2", st.Snapshots)
+	}
+	if st.LiveRecords != 20 {
+		t.Fatalf("live records = %d, want 20 (120 mod 50)", st.LiveRecords)
+	}
+	if rep := l.Replay(); rep.Records != 20 {
+		t.Fatalf("replay = %d records, want the 20 since the checkpoint", rep.Records)
+	}
+}
+
+func TestTornWriteStopsReplayAtValidPrefix(t *testing.T) {
+	l := New("n0", Options{Fsync: FsyncAlways}, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < 6; i++ {
+		l.Append(2)
+	}
+	if !l.InjectTornWrite() {
+		t.Fatal("torn write must apply to a non-empty log")
+	}
+	rep := l.Replay()
+	if rep.Records != 5 || rep.Lost != 1 {
+		t.Fatalf("replay after torn write = %+v, want 5 valid / 1 lost", rep)
+	}
+	// Repair happened: a second replay sees a clean 5-record log, and new
+	// appends extend it.
+	if rep := l.Replay(); rep.Records != 5 || rep.Lost != 0 {
+		t.Fatalf("second replay = %+v, want clean 5 records", rep)
+	}
+	l.Append(1)
+	if rep := l.Replay(); rep.Records != 6 || rep.Lost != 0 {
+		t.Fatalf("replay after repair+append = %+v, want 6 records", rep)
+	}
+}
+
+func TestCorruptRecordStopsReplayMidLog(t *testing.T) {
+	l := New("n0", Options{Fsync: FsyncAlways}, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < 8; i++ {
+		l.Append(1)
+	}
+	if !l.InjectCorruptRecord() {
+		t.Fatal("corruption must apply to a non-empty log")
+	}
+	rep := l.Replay()
+	if rep.Records != 4 || rep.Lost != 4 {
+		t.Fatalf("replay after mid-log corruption = %+v, want 4 valid / 4 lost", rep)
+	}
+	if st := l.Stats(); st.LostRecords != 4 {
+		t.Fatalf("lost counter = %d, want 4", st.LostRecords)
+	}
+}
+
+func TestInjectorsOnEmptyLog(t *testing.T) {
+	l := New("n0", Options{}, clock.NewVirtual(time.Unix(0, 0)))
+	if l.InjectTornWrite() {
+		t.Fatal("torn write on empty log must report false")
+	}
+	if l.InjectCorruptRecord() {
+		t.Fatal("corruption on empty log must report false")
+	}
+	if lost := l.Crash(); lost != 0 {
+		t.Fatalf("crash on empty log lost %d", lost)
+	}
+	if rep := l.Replay(); rep.Records != 0 || rep.Lost != 0 {
+		t.Fatalf("replay on empty log = %+v", rep)
+	}
+}
+
+func TestAppendBatchForcesSingleSync(t *testing.T) {
+	l := New("n0", Options{Fsync: FsyncNever}, clock.NewVirtual(time.Unix(0, 0)))
+	res := l.AppendBatch([]int{1, 2, 3})
+	if !res.Synced {
+		t.Fatal("AppendBatch must force a sync")
+	}
+	if st := l.Stats(); st.Fsyncs != 1 || st.AppendedRecords != 3 {
+		t.Fatalf("stats = %+v, want 1 fsync / 3 records", st)
+	}
+	if lost := l.Crash(); lost != 0 {
+		t.Fatalf("crash after AppendBatch lost %d, want 0", lost)
+	}
+}
+
+func TestLatencyScaling(t *testing.T) {
+	m := DefaultLatency().Scaled(0.5)
+	if m.Fsync != time.Millisecond {
+		t.Fatalf("scaled fsync = %v, want 1ms", m.Fsync)
+	}
+	if m.RefetchPerRecord != 2500*time.Microsecond {
+		t.Fatalf("scaled refetch = %v", m.RefetchPerRecord)
+	}
+}
+
+func TestOSDirMirror(t *testing.T) {
+	dir := t.TempDir()
+	l := New("n0", Options{Fsync: FsyncAlways, SegmentBytes: 256, Dir: OSDir{Path: dir}}, clock.NewVirtual(time.Unix(0, 0)))
+	for i := 0; i < 20; i++ {
+		l.Append(1)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "n0-*.wal"))
+	if err != nil || len(names) < 2 {
+		t.Fatalf("mirror files = %v (err %v), want rotated segments", names, err)
+	}
+	// Snapshot compacts the mirror too.
+	l.Snapshot()
+	names, _ = filepath.Glob(filepath.Join(dir, "n0-*.wal"))
+	if len(names) != 0 {
+		t.Fatalf("mirror after snapshot = %v, want empty", names)
+	}
+	// RemoveSegment on a missing file is not an error.
+	if err := (OSDir{Path: dir}).RemoveSegment("nope.wal"); err != nil {
+		t.Fatalf("remove missing: %v", err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("stat mirror dir: %v", err)
+	}
+}
+
+func TestDeterministicFrames(t *testing.T) {
+	mk := func() *Log {
+		l := New("n0", Options{Fsync: FsyncAlways}, clock.NewVirtual(time.Unix(0, 0)))
+		for i := 0; i < 12; i++ {
+			l.Append(i % 3)
+		}
+		return l
+	}
+	a, b := mk().Stats(), mk().Stats()
+	if a != b {
+		t.Fatalf("two identical append sequences diverged: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,37 @@
+#!/bin/sh
+# lint-directio.sh enforces the durability contract's source-level rule:
+# production code never writes the filesystem directly. All durable state
+# flows through internal/wal (whose Dir abstraction is the one sanctioned
+# I/O boundary), so recovery cost stays modeled, crash truncation stays
+# simulable, and `-time virtual` runs never block on real disks. A direct
+# os.Create/WriteFile/Rename call would silently reintroduce
+# unaccounted-for persistence that the crash/replay plane cannot see.
+#
+# Exemptions:
+#   - internal/wal/ itself (the sanctioned boundary; its OSDir backend
+#     owns the real syscalls)
+#   - _test.go files (tests may stage fixtures on the real filesystem)
+#   - resultdb.go (persists benchmark reports, not simulated state)
+#   - cmd/ is out of scope: CLIs write their own output files
+set -eu
+cd "$(dirname "$0")/.."
+
+# os.Create( | os.OpenFile( | os.WriteFile( | os.Mkdir( | os.MkdirAll( |
+# os.Remove( | os.RemoveAll( | os.Rename( | os.Truncate( — the mutating
+# filesystem API. Reads (os.Open, os.ReadFile) are fine and not matched.
+pattern='os\.(Create|OpenFile|WriteFile|Mkdir|MkdirAll|Remove|RemoveAll|Rename|Truncate)\('
+
+hits=$(grep -rEn "$pattern" \
+    --include='*.go' \
+    --exclude='*_test.go' \
+    internal/ examples/ 2>/dev/null |
+    grep -v '^internal/wal/' |
+    grep -v '^internal/coconut/resultdb\.go:' || true)
+
+if [ -n "$hits" ]; then
+    echo "lint-directio: direct filesystem write outside internal/wal:" >&2
+    echo "$hits" >&2
+    echo "route durable state through internal/wal (or wal.Dir for raw segment I/O)" >&2
+    exit 1
+fi
+echo "lint-directio: ok"
