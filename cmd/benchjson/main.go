@@ -25,12 +25,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"runtime"
 	"slices"
 	"sort"
 	"strconv"
 	"strings"
 
+	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/experiments"
 )
 
@@ -103,6 +106,10 @@ func run() error {
 	}
 	sort.Strings(rep.Labels)
 
+	if err := checkBenchSequence(*out); err != nil {
+		return err
+	}
+
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err
@@ -113,6 +120,70 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, enc, 0o644)
+}
+
+// benchRe matches the BENCH_N.json trajectory naming scheme.
+var benchRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// benchGaps returns the BENCH_N numbers missing between the smallest
+// tracked report and n, given the sibling basenames already present next
+// to the output file. The trajectory is only useful when contiguous: a
+// hole means some PR's report was never generated or was lost, and the
+// next writer is the first place the hole becomes visible.
+func benchGaps(siblings []string, n int) []int {
+	present := map[int]bool{n: true}
+	lo := n
+	for _, s := range siblings {
+		m := benchRe.FindStringSubmatch(s)
+		if m == nil {
+			continue
+		}
+		k, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		present[k] = true
+		if k < lo {
+			lo = k
+		}
+	}
+	var gaps []int
+	for i := lo; i < n; i++ {
+		if !present[i] {
+			gaps = append(gaps, i)
+		}
+	}
+	return gaps
+}
+
+// checkBenchSequence fails loudly when writing BENCH_N.json would leave a
+// hole in the trajectory directory. Non-BENCH output names are exempt.
+func checkBenchSequence(out string) error {
+	m := benchRe.FindStringSubmatch(filepath.Base(out))
+	if m == nil {
+		return nil
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		return nil
+	}
+	glob, err := filepath.Glob(filepath.Join(filepath.Dir(out), "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(glob))
+	for i, g := range glob {
+		names[i] = filepath.Base(g)
+	}
+	if gaps := benchGaps(names, n); len(gaps) > 0 {
+		miss := make([]string, len(gaps))
+		for i, g := range gaps {
+			miss[i] = fmt.Sprintf("BENCH_%d.json", g)
+		}
+		return fmt.Errorf("writing %s would leave holes in the bench trajectory: missing %s (regenerate the missing reports first, or renumber)",
+			filepath.Base(out), strings.Join(miss, ", "))
+	}
+	return nil
 }
 
 // parseOutcomeFile converts a `coconut-sweep -json` outcomes file into
@@ -169,6 +240,17 @@ func parseOutcomeFile(path string) ([]Entry, error) {
 			for _, ss := range r.Stages {
 				metrics["stage_"+ss.Stage+"_p50"] = ss.P50.Mean
 				metrics["stage_"+ss.Stage+"_p95"] = ss.P95.Mean
+			}
+			// Windowed queue/resource gauges: the p95 and peak of each
+			// registry gauge across the run's timeline windows, so a PR that
+			// grows a backlog (hub in-flight, mempool depth, un-synced WAL
+			// tail) shows up in the trajectory diff even when throughput and
+			// latency look unchanged.
+			if !r.Series.Empty() {
+				for g := 0; g < coconut.NumGauges; g++ {
+					metrics[coconut.GaugeNames[g]+"P95"] = r.Series.Quantile(g, 0.95)
+					metrics[coconut.GaugeNames[g]+"Max"] = r.Series.Max(g)
+				}
 			}
 			entries = append(entries, Entry{Name: name, Iterations: 1, Metrics: metrics})
 		}

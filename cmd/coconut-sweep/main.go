@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -34,6 +35,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/coconut"
 	"github.com/coconut-bench/coconut/internal/experiments"
 	"github.com/coconut-bench/coconut/internal/faults"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/workload"
 )
 
@@ -67,6 +69,8 @@ func run() error {
 		skewArg = flag.String("skew", "zipfian", "key distribution for -workload: "+
 			strings.Join(workload.DistNames(), ", ")+", or all")
 		keysArg    = flag.Int("keys", 0, "shared key-space / account-pool size for -workload (0 = default)")
+		tracePath  = flag.String("trace", "", "record sampled per-transaction spans across every cell and write Chrome trace-event JSON (loadable in Perfetto / chrome://tracing) to this file")
+		ndjsonPath = flag.String("ndjson", "", "stream each cell's windowed gauge series to this file as NDJSON, one record per timeline window")
 		stagesFlag = flag.Bool("stages", false, "print the per-stage pipeline latency breakdown (submit/queue/consensus/execute/validate/commit) and bottleneck per cell")
 		list       = flag.Bool("list", false, "enumerate scenarios, benchmarks, arrivals, fault presets, workloads, mixes, and skews")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
@@ -119,6 +123,26 @@ func run() error {
 		Seed:        *seed,
 		Time:        *timeMode,
 		Progress:    printProgress,
+	}
+	var tracer *trace.Tracer
+	if *tracePath != "" {
+		tracer = trace.New(trace.Options{})
+		opts.Trace = tracer
+	}
+	if *ndjsonPath != "" {
+		f, err := os.Create(*ndjsonPath)
+		if err != nil {
+			return fmt.Errorf("ndjson: %w", err)
+		}
+		defer f.Close()
+		enc := json.NewEncoder(f)
+		inner := opts.Progress
+		opts.Progress = func(p experiments.Progress) {
+			inner(p)
+			if err := streamGauges(enc, p); err != nil {
+				fmt.Fprintln(os.Stderr, "coconut-sweep: ndjson:", err)
+			}
+		}
 	}
 
 	scenarios, err := resolveScenarios(*scenarioArg, *figure, *table, *allTables, *faultsArg, *workloadArg, *mixArg, *skewArg, *keysArg)
@@ -190,6 +214,25 @@ func run() error {
 		if err := experiments.WriteReport(f, outcomes...); err != nil {
 			return err
 		}
+		if tracer != nil {
+			if err := writeExemplarSection(f, tracer, *tracePath); err != nil {
+				return err
+			}
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		defer f.Close()
+		if err := tracer.WriteJSON(f); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+		fmt.Printf("trace: %d spans (%d dropped at cap) -> %s\n", tracer.Len(), tracer.Dropped(), *tracePath)
+		for _, ex := range tracer.Exemplars() {
+			fmt.Printf("  [exemplar] %-4s txid=%s %.4fs\n", ex.Label, ex.TxID, ex.Seconds)
+		}
 	}
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(outcomes, "", "  ")
@@ -224,6 +267,58 @@ func printProgress(p experiments.Progress) {
 		line += " conflicts=" + s
 	}
 	fmt.Println(line)
+}
+
+// streamGauges writes one NDJSON record per timeline window of a completed
+// cell's gauge series: the cell coordinates plus every registered gauge by
+// name. Cells without a series (no timeline, or a driver that does not
+// report queue depths) emit nothing.
+func streamGauges(enc *json.Encoder, p experiments.Progress) error {
+	if p.Result == nil {
+		return nil
+	}
+	for i, smp := range p.Result.Series {
+		rec := map[string]any{
+			"scenario": p.Scenario,
+			"cell":     p.Cell,
+			"system":   p.System,
+			"window":   i,
+		}
+		for g := 0; g < coconut.NumGauges; g++ {
+			rec[coconut.GaugeNames[g]] = smp[g]
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeExemplarSection appends the sampled-trace exemplars to the markdown
+// report: the p50/p99/max end-to-end transactions with the txid to search
+// for in Perfetto, linked to the trace file the sweep wrote.
+func writeExemplarSection(w io.Writer, tr *trace.Tracer, tracePath string) error {
+	exemplars := tr.Exemplars()
+	if len(exemplars) == 0 {
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "### Trace exemplars\n\nSampled per-transaction spans were recorded to [`%s`](%s) (load in [Perfetto](https://ui.perfetto.dev) or chrome://tracing; search a txid under span args). %d spans retained, %d dropped at the cap.\n\n",
+		tracePath, tracePath, tr.Len(), tr.Dropped()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| Exemplar | TxID | End-to-end |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "|---|---|---:|"); err != nil {
+		return err
+	}
+	for _, ex := range exemplars {
+		if _, err := fmt.Fprintf(w, "| %s | `%s` | %.4fs |\n", ex.Label, ex.TxID, ex.Seconds); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // printStages renders each cell's per-stage pipeline latency breakdown and
@@ -410,4 +505,11 @@ func printList() {
 	for _, s := range experiments.AllSystems {
 		fmt.Printf("  %s\n", s)
 	}
+	fmt.Println("telemetry gauges (sampled per timeline window; -ndjson records, benchjson P95/Max metrics):")
+	for _, g := range coconut.GaugeNames {
+		fmt.Printf("  %s\n", g)
+	}
+	fmt.Println("trace sinks (-trace FILE):")
+	fmt.Println("  chrome-trace-event JSON: spans for pipeline stages, network hops, consensus rounds, and WAL appends/fsyncs;")
+	fmt.Println("  load in Perfetto (ui.perfetto.dev) or chrome://tracing; exemplar txids print after the sweep and join -md reports")
 }

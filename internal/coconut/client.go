@@ -1,6 +1,7 @@
 package coconut
 
 import (
+	"fmt"
 	"math"
 	"strconv"
 	"sync"
@@ -11,6 +12,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/crypto"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/trace"
 )
 
 // BatchSubmitter is implemented by drivers that accept atomic batches
@@ -72,6 +74,10 @@ type ClientConfig struct {
 	// shared windowed measurement plane (fault runs derive availability
 	// and recovery statistics from it).
 	Timeline *Timeline
+	// Trace, when set, receives one span per pipeline stage for sampled
+	// transactions at confirmation time; unsampled transactions pay only
+	// the hash-and-compare guard (zero allocations).
+	Trace *trace.Tracer
 	// Clock is the time source.
 	Clock clock.Clock
 }
@@ -230,8 +236,22 @@ func (c *Client) onEvent(ev systems.Event) {
 	// section. The confirmation instant closes the commit segment.
 	if ev.Stages != nil {
 		var buf [chain.NumStages]chain.StageSpan
-		for _, sp := range ev.Stages.Durations(start, now, buf[:0]) {
+		spans := ev.Stages.Durations(start, now, buf[:0])
+		for _, sp := range spans {
 			c.stages.Observe(sp.Stage, sp.Dur, ops)
+		}
+		// Sampled transactions additionally resolve into a contiguous span
+		// chain on their own trace lane, end to end from send to confirm.
+		if tr := c.cfg.Trace; tr.Sampled(trace.Key(ev.TxID)) {
+			key := trace.Key(ev.TxID)
+			lane := fmt.Sprintf("tx-%016x", key)
+			cursor := start.UnixNano()
+			for _, sp := range spans {
+				spanEnd := cursor + int64(sp.Dur)
+				tr.Add(trace.Span{Key: key, Name: sp.Stage.String(), Cat: "stage",
+					Proc: c.cfg.Driver.Name(), Lane: lane, Start: cursor, End: spanEnd, Block: ev.BlockNum})
+				cursor = spanEnd
+			}
 		}
 	}
 	if c.cfg.Timeline != nil {

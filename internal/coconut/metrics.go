@@ -281,6 +281,14 @@ type RepetitionResult struct {
 	// Windows is the windowed throughput/latency timeline (nil when not
 	// collected).
 	Windows []WindowStat
+	// Overflow aggregates confirmations that landed past the timeline's
+	// horizon (the synthetic past-horizon bucket; zero-valued without a
+	// timeline).
+	Overflow WindowStat
+	// Series is the windowed queue/resource gauge telemetry, one sample per
+	// timeline window (nil when no timeline was collected or the driver does
+	// not report queue depths).
+	Series GaugeSeries
 	// Stages is the per-stage pipeline latency breakdown in pipeline order
 	// (nil when the driver did not instrument or records carried no marks).
 	Stages []StageStat
@@ -560,6 +568,9 @@ type Result struct {
 	// Stages summarises the per-stage pipeline latency breakdown across
 	// repetitions, in pipeline order (nil without stage instrumentation).
 	Stages []StageResult
+	// Series is the element-wise mean of the repetitions' windowed gauge
+	// telemetry (nil when no repetition collected a series).
+	Series GaugeSeries
 	// Bottleneck names the stage with the largest mean latency — the
 	// pipeline's dominant cost. Empty without stage data.
 	Bottleneck string
@@ -625,21 +636,21 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		}
 	}
 	return Result{
-		System:       system,
-		Benchmark:    benchmark,
-		Params:       params,
-		MTPS:         Summarize(tps),
-		MFLS:         Summarize(fls),
-		Duration:     Summarize(dur),
-		Received:     Summarize(recv),
-		Expected:     Summarize(exp),
-		Valid:        Summarize(valid),
-		Goodput:      Summarize(good),
-		AbortRate:    Summarize(abort),
-		Conflicts:    conflicts,
-		MFLSP50:      Summarize(p50),
-		MFLSP95:      Summarize(p95),
-		MFLSP99:      Summarize(p99),
+		System:             system,
+		Benchmark:          benchmark,
+		Params:             params,
+		MTPS:               Summarize(tps),
+		MFLS:               Summarize(fls),
+		Duration:           Summarize(dur),
+		Received:           Summarize(recv),
+		Expected:           Summarize(exp),
+		Valid:              Summarize(valid),
+		Goodput:            Summarize(good),
+		AbortRate:          Summarize(abort),
+		Conflicts:          conflicts,
+		MFLSP50:            Summarize(p50),
+		MFLSP95:            Summarize(p95),
+		MFLSP99:            Summarize(p99),
 		Availability:       Summarize(avail),
 		RecoverySec:        Summarize(recov),
 		GoodputRecoverySec: Summarize(goodRecov),
@@ -649,6 +660,7 @@ func Aggregate(system, benchmark string, params map[string]string, reps []Repeti
 		LogBytes:           Summarize(logBytes),
 		Stages:             stages,
 		Bottleneck:         bottleneck,
+		Series:             combineSeries(reps),
 		Repetitions:        reps,
 	}
 }

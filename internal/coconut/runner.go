@@ -7,6 +7,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/clock"
 	"github.com/coconut-bench/coconut/internal/faults"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/workload"
 )
 
@@ -69,6 +70,11 @@ type RunConfig struct {
 	FaultWindow time.Duration
 	// Params echoes configuration knobs into the result rows.
 	Params map[string]string
+	// Trace, when set, records sampled per-transaction spans (client-side
+	// pipeline stages; drivers built with the same tracer add network hops,
+	// consensus rounds, and WAL appends). Nil disables tracing with zero
+	// overhead on the hot path.
+	Trace *trace.Tracer
 	// Clock is the time source.
 	Clock clock.Clock
 	// NewClock, when set, constructs a fresh time source per repetition
@@ -276,6 +282,7 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 			ReadMax:         rm,
 			DiscardRecords:  true,
 			Timeline:        timeline,
+			Trace:           cfg.Trace,
 			Clock:           cfg.Clock,
 		})
 	}
@@ -325,10 +332,41 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		injector = faults.NewInjector(driver, *cfg.Faults, cfg.Clock)
 		injector.Start()
 	}
+
+	// The gauge sampler is a forked clock actor snapshotting the driver's
+	// queue depths once per timeline window, so the windowed throughput
+	// timeline gains a matching queue/resource telemetry series. It runs
+	// only when a timeline is collected — the paper-grid hot path stays
+	// untouched.
+	var gaugeSamples GaugeSeries
+	var gaugeStop, gaugeDone *clock.Gate
+	if qr, ok := driver.(systems.QueueReporter); ok && timeline != nil && window > 0 {
+		gaugeStop = clock.NewGate(cfg.Clock)
+		gaugeDone = clock.NewGate(cfg.Clock)
+		clock.Fork(cfg.Clock, 1)
+		go func() {
+			h := clock.RegisterForked(cfg.Clock, "gauge-sampler")
+			defer h.Close()
+			defer gaugeDone.Close()
+			t := cfg.Clock.NewTicker(window)
+			defer t.Stop()
+			for {
+				if i, _, _ := clock.Await(cfg.Clock, gaugeStop, t); i == 0 {
+					return
+				}
+				gaugeSamples = append(gaugeSamples, sampleGauges(qr.QueueSnapshot()))
+			}
+		}()
+	}
+
 	start.Close()
 	wg.Wait()
 	if injector != nil {
 		injector.Stop()
+	}
+	if gaugeStop != nil {
+		gaugeStop.Close()
+		clock.Await(cfg.Clock, gaugeDone)
 	}
 
 	written := make([][]uint64, len(clients))
@@ -359,6 +397,20 @@ func runBenchmark(cfg RunConfig, driver systems.Driver, bench BenchmarkName, rep
 		rr.GoodputRecovered = fm.GoodputRecovered
 		rr.GoodputRecoverySec = fm.GoodputRecoverySec
 		rr.Windows = fm.Windows
+		rr.Overflow = timeline.Overflow()
+		if len(gaugeSamples) > 0 && len(rr.Windows) > 0 {
+			// Align the gauge series to the trimmed window timeline: drop
+			// samples past the last non-empty window, pad if the sampler was
+			// stopped a tick early.
+			series := gaugeSamples
+			if len(series) > len(rr.Windows) {
+				series = series[:len(rr.Windows)]
+			}
+			for len(series) < len(rr.Windows) {
+				series = append(series, GaugeSample{})
+			}
+			rr.Series = series
+		}
 	}
 	if walEnabled {
 		after, _ := walReporter.RecoveryStats()

@@ -1,0 +1,126 @@
+package coconut
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/coconut-bench/coconut/internal/chain"
+)
+
+// TestStageMetricsSummarizeZero pins the zero-observation behaviour the
+// report layer relies on: a fresh accumulator is Empty and summarizes to
+// nil (not a slice of zero rows), and observations carrying no ops or a
+// negative duration never turn it non-empty / never divide by zero.
+func TestStageMetricsSummarizeZero(t *testing.T) {
+	var m StageMetrics
+	if !m.Empty() {
+		t.Fatal("fresh StageMetrics should be Empty")
+	}
+	if got := m.Summarize(); got != nil {
+		t.Fatalf("Summarize on zero observations = %v, want nil", got)
+	}
+
+	// ops <= 0 is a no-op, not a zero-weight row.
+	m.Observe(chain.StageSubmit, time.Millisecond, 0)
+	m.Observe(chain.StageSubmit, time.Millisecond, -3)
+	if !m.Empty() {
+		t.Fatal("zero/negative-ops observations should not record")
+	}
+
+	// Negative durations clamp to zero rather than corrupting the sum.
+	m.Observe(chain.StageSubmit, -time.Second, 2)
+	ss := m.Summarize()
+	if len(ss) != 1 || ss[0].Ops != 2 {
+		t.Fatalf("Summarize after clamped observation = %+v, want one row with Ops=2", ss)
+	}
+	if ss[0].MeanSec != 0 {
+		t.Fatalf("negative duration should clamp to 0, got mean %v", ss[0].MeanSec)
+	}
+}
+
+// TestStageMetricsMergeEmptySide checks Merge with one empty operand in
+// both directions (and a nil other): the non-empty side's data must pass
+// through unchanged.
+func TestStageMetricsMergeEmptySide(t *testing.T) {
+	mk := func() *StageMetrics {
+		m := &StageMetrics{}
+		m.Observe(chain.StageSubmit, 10*time.Millisecond, 4)
+		m.Observe(chain.StageCommit, 30*time.Millisecond, 2)
+		return m
+	}
+	want := mk().Summarize()
+
+	// Non-empty <- empty.
+	a := mk()
+	a.Merge(&StageMetrics{})
+	if got := a.Summarize(); !stageStatsEqual(got, want) {
+		t.Fatalf("merge of empty into populated changed data:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Non-empty <- nil.
+	a = mk()
+	a.Merge(nil)
+	if got := a.Summarize(); !stageStatsEqual(got, want) {
+		t.Fatalf("merge of nil into populated changed data:\n got %+v\nwant %+v", got, want)
+	}
+
+	// Empty <- non-empty.
+	b := &StageMetrics{}
+	b.Merge(mk())
+	if b.Empty() {
+		t.Fatal("merging populated metrics into empty should record")
+	}
+	if got := b.Summarize(); !stageStatsEqual(got, want) {
+		t.Fatalf("merge of populated into empty lost data:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestStageMetricsConcurrentMerge exercises the documented concurrency
+// contract (all fields atomic) under the race detector: goroutines
+// observing and merging into a shared root concurrently must neither race
+// nor lose ops.
+func TestStageMetricsConcurrentMerge(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 200
+	)
+	var root StageMetrics
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := &StageMetrics{}
+			for i := 0; i < perW; i++ {
+				s := chain.Stage(i % chain.NumStages)
+				local.Observe(s, time.Duration(1+i)*time.Microsecond, 1)
+				// Interleave direct observation with merges so Merge runs
+				// concurrently with Observe on the shared root.
+				root.Observe(s, time.Duration(1+w)*time.Microsecond, 1)
+			}
+			root.Merge(local)
+		}(w)
+	}
+	wg.Wait()
+
+	var ops int
+	for _, ss := range root.Summarize() {
+		ops += ss.Ops
+	}
+	if want := 2 * workers * perW; ops != want {
+		t.Fatalf("concurrent merge lost observations: got %d ops, want %d", ops, want)
+	}
+}
+
+func stageStatsEqual(a, b []StageStat) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

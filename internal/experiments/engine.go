@@ -542,6 +542,7 @@ func runUnitCell(system string, bench coconut.BenchmarkName, p Params, o Options
 		Repetitions:     o.Repetitions,
 		Faults:          sched,
 		Params:          labels,
+		Trace:           o.Trace,
 	})
 	if err != nil {
 		return coconut.Result{}, err
@@ -589,6 +590,7 @@ func runWorkloadCell(system string, spec *workload.Spec, o Options, threads, rat
 		Repetitions:     o.Repetitions,
 		Faults:          sched,
 		Params:          labels,
+		Trace:           o.Trace,
 	})
 	if err != nil {
 		return coconut.Result{}, err

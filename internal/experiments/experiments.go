@@ -35,6 +35,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/systems/fabric"
 	"github.com/coconut-bench/coconut/internal/systems/quorum"
 	"github.com/coconut-bench/coconut/internal/systems/sawtooth"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/wal"
 )
 
@@ -72,6 +73,12 @@ type Options struct {
 	// completion from the engine (Run). It replaces the io.Writer
 	// side-channels the pre-scenario runners threaded through every call.
 	Progress func(Progress) `json:"-"`
+	// Trace, when set, collects sampled per-transaction spans across every
+	// cell the run executes: client-side pipeline stages, network hops,
+	// consensus rounds, and WAL appends/fsyncs all land in the one tracer,
+	// exportable as Chrome trace-event JSON (trace.WriteJSON). Nil runs
+	// the untraced hot path.
+	Trace *trace.Tracer `json:"-"`
 
 	// meter, when attached by the engine, collects every clock the run
 	// constructs so the cell's consumed simulation time can be summed.
@@ -230,6 +237,20 @@ func (p Params) Labels() map[string]string {
 
 func itoa(v int) string { return fmt.Sprintf("%d", v) }
 
+// netemTransport builds a cell's private emulated-WAN transport (nil when
+// Netem is off), attaching the run's tracer so hop spans carry the system's
+// process name.
+func (o Options) netemTransport(clk clock.Clock, proc string) *network.Transport {
+	if !o.Netem {
+		return nil
+	}
+	tr := network.NewTransport(clk, o.latency())
+	if o.Trace != nil {
+		tr.SetTracer(o.Trace, proc)
+	}
+	return tr
+}
+
 // NewDriverFunc builds a fresh driver for one system under the given
 // parameters and options. The returned constructor takes the time source
 // the driver should live on — the runner hands it each repetition's clock,
@@ -244,10 +265,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 			mm = 500
 		}
 		return func(clk clock.Clock) systems.Driver {
-			var tr *network.Transport
-			if o.Netem {
-				tr = network.NewTransport(clk, o.latency())
-			}
+			tr := o.netemTransport(clk, systems.NameFabric)
 			return fabric.New(fabric.Config{
 				Peers:            o.Nodes,
 				Orderers:         3,
@@ -257,6 +275,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Transport:        tr,
 				Clock:            clk,
 				WAL:              o.WAL,
+				Trace:            o.Trace,
 			})
 		}, nil
 
@@ -282,10 +301,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 			maxBlockTxs = 1
 		}
 		return func(clk clock.Clock) systems.Driver {
-			var tr *network.Transport
-			if o.Netem {
-				tr = network.NewTransport(clk, o.latency())
-			}
+			tr := o.netemTransport(clk, systems.NameQuorum)
 			return quorum.New(quorum.Config{
 				Validators:       o.Nodes,
 				BlockPeriod:      o.paperDur(float64(bp)),
@@ -295,6 +311,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Transport:        tr,
 				Clock:            clk,
 				WAL:              o.WAL,
+				Trace:            o.Trace,
 			})
 		}, nil
 
@@ -314,10 +331,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 			pd = scaled
 		}
 		return func(clk clock.Clock) systems.Driver {
-			var tr *network.Transport
-			if o.Netem {
-				tr = network.NewTransport(clk, o.latency())
-			}
+			tr := o.netemTransport(clk, systems.NameSawtooth)
 			return sawtooth.New(sawtooth.Config{
 				Validators:               o.Nodes,
 				BlockPublishingDelay:     pd,
@@ -327,6 +341,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Transport:                tr,
 				Clock:                    clk,
 				WAL:                      o.WAL,
+				Trace:                    o.Trace,
 			})
 		}, nil
 
@@ -343,10 +358,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 			maxBlock = 6
 		}
 		return func(clk clock.Clock) systems.Driver {
-			var tr *network.Transport
-			if o.Netem {
-				tr = network.NewTransport(clk, o.latency())
-			}
+			tr := o.netemTransport(clk, systems.NameDiem)
 			return diem.New(diem.Config{
 				Validators:    o.Nodes,
 				MaxBlockSize:  maxBlock,
@@ -357,6 +369,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Transport:     tr,
 				Clock:         clk,
 				WAL:           o.WAL,
+				Trace:         o.Trace,
 			})
 		}, nil
 
@@ -377,10 +390,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 			window = 2
 		}
 		return func(clk clock.Clock) systems.Driver {
-			var tr *network.Transport
-			if o.Netem {
-				tr = network.NewTransport(clk, o.latency())
-			}
+			tr := o.netemTransport(clk, systems.NameBitShares)
 			return bitshares.New(bitshares.Config{
 				Nodes:             o.Nodes,
 				BlockInterval:     o.paperDur(float64(bi)),
@@ -389,6 +399,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Clock:             clk,
 				Seed:              o.Seed,
 				WAL:               o.WAL,
+				Trace:             o.Trace,
 			})
 		}, nil
 
@@ -407,6 +418,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Latency:        o.latency(),
 				Clock:          clk,
 				WAL:            o.WAL,
+				Trace:          o.Trace,
 			})
 		}, nil
 
@@ -422,6 +434,7 @@ func NewDriverFunc(system string, p Params, o Options) (func(clk clock.Clock) sy
 				Latency:        o.latency(),
 				Clock:          clk,
 				WAL:            o.WAL,
+				Trace:          o.Trace,
 			})
 		}, nil
 

@@ -101,6 +101,10 @@ func Registry() []Scenario {
 			Workload: &WorkloadSpec{Mixes: []string{"smallbank"}, Skews: []string{"zipfian"}},
 			Rate:     200,
 			Faults:   &FaultSpec{Preset: faults.PresetPartitionHeal},
+			// A batch-fsync WAL rides along so traced runs of this scenario
+			// carry wal:append/wal:fsync spans and the gauge series shows
+			// durable-gate backlog under the partition.
+			WAL: &WALSpec{Fsync: "batch"},
 		},
 	}
 

@@ -85,7 +85,8 @@ func TestWriteReportGolden(t *testing.T) {
 					TPS: 120, FLS: 0.8, ReceivedNoT: 3000, ExpectedNoT: 3600,
 					Availability: 0.7, Recovered: true, RecoverySec: 0.4,
 					GoodputRecovered: true, GoodputRecoverySec: 0.9,
-					Windows:          []coconut.WindowStat{{}},
+					Windows:  []coconut.WindowStat{{}},
+					Overflow: coconut.WindowStat{Received: 12},
 				})},
 			{System: "Corda OS", Benchmark: "DoNothing", Nodes: 4, Faults: "partition-heal",
 				Result: fakeResult(coconut.RepetitionResult{
@@ -108,7 +109,11 @@ func TestWriteReportGolden(t *testing.T) {
 					Conflicts:    map[string]int{"mvcc-conflict": 1080},
 					Availability: 0.75, Recovered: true, RecoverySec: 0.3,
 					GoodputRecovered: true, GoodputRecoverySec: 1.1,
-					Windows:          []coconut.WindowStat{{}},
+					Windows: []coconut.WindowStat{{}, {}},
+					Series: coconut.GaugeSeries{
+						{5, 3, 1, 4096, 2, 7},
+						{11, 8, 2, 8192, 3, 15},
+					},
 					Stages: []coconut.StageStat{
 						{Stage: "submit", MeanSec: 0.001, P50Sec: 0.001, P95Sec: 0.002, Ops: 2400},
 						{Stage: "queue", MeanSec: 0.055, P50Sec: 0.050, P95Sec: 0.110, Ops: 2400},
@@ -129,7 +134,7 @@ func TestWriteReportGolden(t *testing.T) {
 				Result: fakeResult(coconut.RepetitionResult{
 					TPS: 190, Goodput: 150, AbortRate: 0.21, FLS: 1.2,
 					ReceivedNoT: 5700, ExpectedNoT: 6000,
-					Conflicts:   map[string]int{"insufficient-funds": 1200},
+					Conflicts: map[string]int{"insufficient-funds": 1200},
 				})},
 		},
 	}
@@ -228,6 +233,49 @@ func TestWriteReportStageBreakdown(t *testing.T) {
 	}
 	if strings.Contains(plain.String(), "Stage breakdown") {
 		t.Fatalf("stage section rendered without stage data:\n%s", plain.String())
+	}
+}
+
+func TestWriteReportQueueSection(t *testing.T) {
+	// Rows carrying a gauge series grow a queue-growth table with one
+	// p95/max pair per registered gauge; rows without one stay silent.
+	oc := &Outcome{
+		Scenario: Scenario{Name: "queues-excerpt", Faults: &FaultSpec{Preset: faults.PresetPartitionHeal}},
+		Rows: []OutcomeRow{
+			{System: "Quorum", Benchmark: "DoNothing", Nodes: 4, Faults: "partition-heal",
+				Result: fakeResult(coconut.RepetitionResult{
+					TPS: 200, ReceivedNoT: 100, ExpectedNoT: 100,
+					Windows: []coconut.WindowStat{{}, {}, {}},
+					Series: coconut.GaugeSeries{
+						{4, 10, 0, 0, 0, 3},
+						{9, 25, 0, 0, 0, 6},
+						{2, 5, 0, 0, 0, 1},
+					},
+				})},
+		},
+	}
+	var sb strings.Builder
+	if err := WriteReport(&sb, oc); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{
+		"### Queue growth", "hubInflight p95/max", "mempoolDepth p95/max",
+		"| Quorum | DoNothing | 3 |", "9/9", "25/25",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("queue section lacks %q:\n%s", want, got)
+		}
+	}
+
+	// Without a gauge series the section must not appear at all.
+	var plain strings.Builder
+	if err := WriteReport(&plain, &Outcome{Scenario: Scenario{Name: "plain"},
+		Rows: []OutcomeRow{fakeRow("Fabric", "DoNothing", nil, coconut.RepetitionResult{TPS: 1})}}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "Queue growth") {
+		t.Fatalf("queue section rendered without gauge data:\n%s", plain.String())
 	}
 }
 

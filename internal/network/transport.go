@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/trace"
 )
 
 // Message is a unit of delivery between endpoints. Payload is an opaque
@@ -58,6 +59,10 @@ type Transport struct {
 	state atomic.Pointer[fabricState]
 	mu    sync.Mutex // serializes snapshot mutations only
 	links sync.Map   // linkKey -> *linkState
+
+	// tracer, when set, records sampled network-hop spans (one per
+	// scheduled delivery, per-link ordinal sampling).
+	tracer atomic.Pointer[tracerInfo]
 
 	shards []*shard
 	wg     *clock.Group
@@ -171,6 +176,37 @@ func NewTransport(clk clock.Clock, latency LatencyModel) *Transport {
 
 func (t *Transport) nowNanos() int64 { return int64(t.clk.Now().Sub(t.t0)) }
 
+// tracerInfo pairs the span sink with the Perfetto process row the hops
+// render under (the owning system's name).
+type tracerInfo struct {
+	tr   *trace.Tracer
+	proc string
+}
+
+// SetTracer attaches a span sink: sampled hops record one "net" span whose
+// extent is the message's exact scheduled flight time (latency model plus
+// degradation plus the FIFO clamp). Sampling is by per-link message
+// ordinal mixed with the link hash, so it is deterministic under the
+// virtual clock. A nil tracer detaches.
+func (t *Transport) SetTracer(tr *trace.Tracer, proc string) {
+	if tr == nil {
+		t.tracer.Store(nil)
+		return
+	}
+	t.tracer.Store(&tracerInfo{tr: tr, proc: proc})
+}
+
+// PendingCount reports messages scheduled but not yet delivered, summed
+// over every endpoint's queue — the timing wheel's in-flight backlog, and
+// the telemetry plane's netPending gauge.
+func (t *Transport) PendingCount() int64 {
+	var n int64
+	for _, ep := range t.state.Load().list {
+		n += ep.pending.Load()
+	}
+	return n
+}
+
 // shardFor pins an endpoint name to a shard (FNV-1a hash).
 func (t *Transport) shardFor(name string) *shard {
 	return t.shards[fnvAdd(fnvOffset64, name)&uint64(len(t.shards)-1)]
@@ -268,8 +304,10 @@ func (t *Transport) sendTo(st *fabricState, from string, ep *endpoint, kind stri
 
 	// Per-link FIFO clamp and loss draw. Only senders of this exact
 	// directed link share this mutex.
+	ti := t.tracer.Load()
 	ls := t.link(lk)
 	lost := false
+	var hopN uint64
 	ls.mu.Lock()
 	if readyN < ls.lastReady {
 		readyN = ls.lastReady
@@ -281,7 +319,26 @@ func (t *Transport) sendTo(st *fabricState, from string, ep *endpoint, kind stri
 		}
 		lost = ls.rng.Float64() < deg.Loss
 	}
+	if ti != nil {
+		hopN = ls.hops
+		ls.hops++
+	}
 	ls.mu.Unlock()
+	if ti != nil && !lost {
+		// The ordinal decides membership; the link hash decorrelates the
+		// sampled ordinals across links.
+		if ti.tr.Sampled(hopN ^ fnvAdd(fnvAdd(fnvOffset64, from), ep.name)) {
+			startN := now.UnixNano()
+			ti.tr.Add(trace.Span{
+				Name:  kind,
+				Cat:   "net",
+				Proc:  ti.proc,
+				Lane:  from + "→" + ep.name,
+				Start: startN,
+				End:   startN + (readyN - nowN),
+			})
+		}
+	}
 
 	sh := ep.sh
 	sh.stats.sent.Add(1)

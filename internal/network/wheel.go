@@ -293,6 +293,9 @@ type linkState struct {
 	mu        sync.Mutex
 	lastReady int64
 	rng       *rand.Rand
+	// hops numbers the link's messages for deterministic trace sampling;
+	// it only advances while a tracer is attached.
+	hops uint64
 }
 
 // FNV-1a, shared by shard pinning and link seeding so the two hash paths

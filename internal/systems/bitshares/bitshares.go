@@ -32,6 +32,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/wal"
 )
 
@@ -60,6 +61,9 @@ type Config struct {
 	// WAL, when set, mounts a write-ahead log on every node's commit gate
 	// (see systems.DurableGate).
 	WAL *wal.Options
+	// Trace, when set, receives sampled spans: consensus rounds, WAL
+	// appends/fsyncs, and (on a private transport) network hops.
+	Trace *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -119,6 +123,9 @@ func New(cfg Config) *Network {
 	if cfg.Transport == nil {
 		n.transport = network.NewTransport(cfg.Clock, nil)
 		n.ownTransport = true
+		if cfg.Trace != nil {
+			n.transport.SetTracer(cfg.Trace, systems.NameBitShares)
+		}
 	} else {
 		n.transport = cfg.Transport
 	}
@@ -148,6 +155,7 @@ func New(cfg Config) *Network {
 		}
 		if cfg.WAL != nil {
 			nd.gate.Enable(cfg.Clock, wal.New(names[i], *cfg.WAL, cfg.Clock))
+			nd.gate.Trace(cfg.Trace, systems.NameBitShares, names[i])
 		}
 		nd.engine = dpos.New(dpos.Config{
 			ID:            nd.id,
@@ -333,6 +341,12 @@ func (n *Network) applyDecision(nd *node, d consensus.Decision) {
 	if err := nd.ledger.Append(cb); err != nil {
 		return
 	}
+	// One consensus-round span per sampled block, emitted at node 0's apply
+	// site only (every node applies the identical produced block).
+	if tr := n.cfg.Trace; nd == n.nodes[0] && tr.Sampled(cb.Number) {
+		tr.Add(trace.Span{Name: "round", Cat: "consensus", Proc: systems.NameBitShares,
+			Lane: "consensus", Start: ts.UnixNano(), End: decided.UnixNano(), Block: cb.Number})
+	}
 	now := n.cfg.Clock.Now()
 	for txNum, tx := range surviving {
 		applyTx(tx, nd.state, cb.Number, txNum)
@@ -453,6 +467,24 @@ func (a *kvAdapter) Get(key string) (string, bool) {
 }
 
 func (a *kvAdapter) Put(key, value string) { a.state.Set(key, value, a.ver) }
+
+// QueueSnapshot implements systems.QueueReporter: hub in-flight, the DPoS
+// engines' pending-transaction backlog, and gate/WAL occupancy.
+func (n *Network) QueueSnapshot() systems.QueueStats {
+	qs := systems.QueueStats{
+		HubInflight: n.hub.PendingCount(),
+		NetPending:  n.transport.PendingCount(),
+	}
+	for _, nd := range n.nodes {
+		qs.MempoolDepth += nd.engine.PendingCount()
+		qs.GateBacklog += nd.gate.Backlog()
+		if log := nd.gate.WAL(); log != nil {
+			qs.WALLiveBytes += int64(log.Stats().LiveBytes)
+			qs.WALUnsynced += log.UnsyncedRecords()
+		}
+	}
+	return qs
+}
 
 // ExcludedCount reports transactions dropped by conflict exclusion.
 func (n *Network) ExcludedCount() uint64 {

@@ -35,6 +35,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/iel"
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/wal"
 )
 
@@ -101,6 +102,9 @@ type Config struct {
 	// each finalised flow's vault application is durably recorded before it
 	// applies (see systems.DurableGate).
 	WAL *wal.Options
+	// Trace, when set, receives sampled spans: per-flow consensus-analogue
+	// spans (signature collection + notarisation) and WAL appends/fsyncs.
+	Trace *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -203,6 +207,7 @@ func New(cfg Config) *Network {
 		}
 		if cfg.WAL != nil {
 			nd.gate.Enable(cfg.Clock, wal.New(id, *cfg.WAL, cfg.Clock))
+			nd.gate.Trace(cfg.Trace, cfg.Edition.String(), id)
 		}
 		n.nodes = append(n.nodes, nd)
 		n.signers[id] = crypto.NewIdentity(id)
@@ -316,7 +321,8 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 		return
 	}
 	// Flow build is Corda's execution phase (vault scans, contract logic).
-	tx.Stages.Mark(chain.StageExecute, n.cfg.Clock.Now())
+	built := n.cfg.Clock.Now()
+	tx.Stages.Mark(chain.StageExecute, built)
 	if n.deadlineExceeded(started) {
 		n.recordTimeout()
 		return
@@ -378,7 +384,14 @@ func (n *Network) runFlow(entry *node, tx *chain.Transaction) {
 	}
 	// Signature collection plus notarisation is Corda's ordering/consensus
 	// analogue: after this instant the flow's outcome is decided.
-	tx.Stages.Mark(chain.StageConsensus, n.cfg.Clock.Now())
+	decided := n.cfg.Clock.Now()
+	tx.Stages.Mark(chain.StageConsensus, decided)
+	// Blockless Corda has no rounds; the consensus-analogue span covers one
+	// sampled flow's signing plus notarisation, keyed to its transaction.
+	if tr := n.cfg.Trace; tr.Sampled(trace.Key(tx.ID)) {
+		tr.Add(trace.Span{Key: trace.Key(tx.ID), Name: "flow:sign+notarise", Cat: "consensus",
+			Proc: n.Name(), Lane: "consensus", Start: built.UnixNano(), End: decided.UnixNano()})
+	}
 
 	// Phase 4: finality — distribute to every vault; reads complete on the
 	// entry node alone.
@@ -801,6 +814,22 @@ func (n *Network) LossStats() (dropped, timedOut, failed uint64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.dropped, n.timeout, n.failed
+}
+
+// QueueSnapshot implements systems.QueueReporter: hub in-flight, the flow
+// mailboxes' backlog, and gate/WAL occupancy. Corda has no shared transport
+// (latency is modeled point-to-point), so NetPending stays zero.
+func (n *Network) QueueSnapshot() systems.QueueStats {
+	qs := systems.QueueStats{HubInflight: n.hub.PendingCount()}
+	for _, nd := range n.nodes {
+		qs.MempoolDepth += nd.queue.Len()
+		qs.GateBacklog += nd.gate.Backlog()
+		if log := nd.gate.WAL(); log != nil {
+			qs.WALLiveBytes += int64(log.Stats().LiveBytes)
+			qs.WALUnsynced += log.UnsyncedRecords()
+		}
+	}
+	return qs
 }
 
 // VaultSize reports node i's unspent state count.

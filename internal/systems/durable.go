@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"github.com/coconut-bench/coconut/internal/clock"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/wal"
 )
 
@@ -46,6 +47,15 @@ type DurableGate struct {
 	// re-fetched from peers on the next Restart.
 	pendingRefetch int
 
+	// Tracing (see Trace): fsync barriers always produce a span — they are
+	// the rare, expensive event — while plain appends are counter-sampled
+	// through the tracer's rate so batch-policy runs stay bounded.
+	tr        *trace.Tracer
+	traceProc string
+	traceLane string
+	traceKey  uint64 // FNV of the lane, salts the append counter
+	appendSeq uint64
+
 	replayedRecords  uint64
 	refetchedRecords uint64
 	replaySec        float64
@@ -69,6 +79,23 @@ func (g *DurableGate) Enable(clk clock.Clock, log *wal.Log) {
 	}
 	g.clk = clk
 	g.log = log
+}
+
+// Trace attaches a span sink to the gate's durability path. proc and lane
+// name the Chrome-trace process/thread rows (system name and node name). A
+// nil tracer detaches. Call before traffic starts, like Enable.
+func (g *DurableGate) Trace(tr *trace.Tracer, proc, lane string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.tr = tr
+	g.traceProc = proc
+	g.traceLane = lane
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(lane); i++ {
+		h ^= uint64(lane[i])
+		h *= 1099511628211
+	}
+	g.traceKey = h
 }
 
 // WAL returns the mounted log, or nil when durability is disabled.
@@ -100,7 +127,26 @@ func (g *DurableGate) Commit(entries int, f func()) {
 		return
 	}
 	res := g.log.Append(entries)
+	tr := g.tr
+	emit := false
+	var proc, lane string
+	if tr.Enabled() {
+		proc, lane = g.traceProc, g.traceLane
+		// Every fsync barrier is recorded (sampling could miss all of a
+		// batch policy's rare syncs); plain appends go through the rate.
+		emit = res.Synced || tr.Sampled(g.appendSeq^g.traceKey)
+		g.appendSeq++
+	}
 	g.mu.Unlock()
+	if emit {
+		name := "wal:append"
+		if res.Synced {
+			name = "wal:fsync"
+		}
+		startN := g.clk.Now().UnixNano()
+		tr.Add(trace.Span{Name: name, Cat: "wal", Proc: proc, Lane: lane,
+			Start: startN, End: startN + int64(res.Latency)})
+	}
 	if res.Latency > 0 {
 		g.clk.Sleep(res.Latency)
 	}

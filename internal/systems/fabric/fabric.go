@@ -29,6 +29,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/wal"
 )
 
@@ -68,6 +69,9 @@ type Config struct {
 	// WAL, when set, mounts a write-ahead log on every peer's commit gate
 	// (see systems.DurableGate).
 	WAL *wal.Options
+	// Trace, when set, receives sampled spans: consensus rounds, WAL
+	// appends/fsyncs, and (on a private transport) network hops.
+	Trace *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -156,6 +160,9 @@ func New(cfg Config) *Network {
 	if cfg.Transport == nil {
 		n.transport = network.NewTransport(cfg.Clock, nil)
 		n.ownTransport = true
+		if cfg.Trace != nil {
+			n.transport.SetTracer(cfg.Trace, systems.NameFabric)
+		}
 	} else {
 		n.transport = cfg.Transport
 	}
@@ -170,6 +177,7 @@ func New(cfg Config) *Network {
 		}
 		if cfg.WAL != nil {
 			p.gate.Enable(cfg.Clock, wal.New(id, *cfg.WAL, cfg.Clock))
+			p.gate.Trace(cfg.Trace, systems.NameFabric, id)
 		}
 		n.peers = append(n.peers, p)
 	}
@@ -421,6 +429,12 @@ func (n *Network) makeDecideFunc(i int) consensus.DecideFunc {
 // buffers its share of the work until RestartNode replays it.
 func (n *Network) commitBlock(seq uint64, batch cutBatch) {
 	decided := n.cfg.Clock.Now()
+	// Consensus rounds are sampled on the block number: one span per
+	// sampled round, emitted at the single global commit site.
+	if tr := n.cfg.Trace; tr.Sampled(seq) {
+		tr.Add(trace.Span{Name: "round", Cat: "consensus", Proc: systems.NameFabric,
+			Lane: "consensus", Start: batch.CutAt.UnixNano(), End: decided.UnixNano(), Block: seq})
+	}
 	for _, env := range batch.Envelopes {
 		env.Tx.Stages.Mark(chain.StageConsensus, decided)
 	}
@@ -566,6 +580,26 @@ func (n *Network) PeerHeight() uint64 { return n.peers[0].ledger.Height() }
 
 // WorldState exposes peer i's world state for verification in tests.
 func (n *Network) WorldState(i int) *statestore.KVStore { return n.peers[i%len(n.peers)].state }
+
+// QueueSnapshot implements systems.QueueReporter: the hub's in-flight
+// count, orderer ingress depth, and the peers' gate/WAL occupancy.
+func (n *Network) QueueSnapshot() systems.QueueStats {
+	qs := systems.QueueStats{
+		HubInflight: n.hub.PendingCount(),
+		NetPending:  n.transport.PendingCount(),
+	}
+	for _, o := range n.orderers {
+		qs.MempoolDepth += o.ingress.Len()
+	}
+	for _, p := range n.peers {
+		qs.GateBacklog += p.gate.Backlog()
+		if log := p.gate.WAL(); log != nil {
+			qs.WALLiveBytes += int64(log.Stats().LiveBytes)
+			qs.WALUnsynced += log.UnsyncedRecords()
+		}
+	}
+	return qs
+}
 
 // OrdererStats reports admitted/rejected envelope counts across orderers.
 func (n *Network) OrdererStats() (admitted, rejected uint64) {

@@ -30,6 +30,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/wal"
 )
 
@@ -56,6 +57,9 @@ type Config struct {
 	// gate: decided blocks are durably recorded before applying, and
 	// restart replays the log instead of recovery being free.
 	WAL *wal.Options
+	// Trace, when set, receives sampled spans: consensus rounds, WAL
+	// appends/fsyncs, and (on a private transport) network hops.
+	Trace *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -127,6 +131,9 @@ func New(cfg Config) *Network {
 	if cfg.Transport == nil {
 		n.transport = network.NewTransport(cfg.Clock, nil)
 		n.ownTransport = true
+		if cfg.Trace != nil {
+			n.transport.SetTracer(cfg.Trace, systems.NameQuorum)
+		}
 	} else {
 		n.transport = cfg.Transport
 	}
@@ -146,6 +153,7 @@ func New(cfg Config) *Network {
 		}
 		if cfg.WAL != nil {
 			v.gate.Enable(cfg.Clock, wal.New(names[i], *cfg.WAL, cfg.Clock))
+			v.gate.Trace(cfg.Trace, systems.NameQuorum, names[i])
 		}
 		v.engine = ibft.New(ibft.Config{
 			ID:         v.id,
@@ -364,6 +372,12 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 		return
 	}
 	now := n.cfg.Clock.Now()
+	// One consensus-round span per sampled block, emitted at validator 0's
+	// apply site only (every validator applies the identical decision).
+	if tr := n.cfg.Trace; v == n.validators[0] && tr.Sampled(cb.Number) {
+		tr.Add(trace.Span{Name: "round", Cat: "consensus", Proc: systems.NameQuorum,
+			Lane: "consensus", Start: blk.FormedAt.UnixNano(), End: now.UnixNano(), Block: cb.Number})
+	}
 	for txNum, tx := range blk.Txs {
 		tx.Stages.Mark(chain.StageConsensus, now)
 		execErr := executeTx(tx, v.state, cb.Number, txNum)
@@ -539,6 +553,24 @@ func (n *Network) NodeEndpoints(node int) []string {
 // checks).
 func (n *Network) LedgerHead(i int) crypto.Hash {
 	return n.validators[i%len(n.validators)].ledger.Head().Hash
+}
+
+// QueueSnapshot implements systems.QueueReporter: hub in-flight, pool
+// backlog summed across validators, and gate/WAL occupancy.
+func (n *Network) QueueSnapshot() systems.QueueStats {
+	qs := systems.QueueStats{
+		HubInflight: n.hub.PendingCount(),
+		NetPending:  n.transport.PendingCount(),
+	}
+	for _, v := range n.validators {
+		qs.MempoolDepth += v.pool.Len()
+		qs.GateBacklog += v.gate.Backlog()
+		if log := v.gate.WAL(); log != nil {
+			qs.WALLiveBytes += int64(log.Stats().LiveBytes)
+			qs.WALUnsynced += log.UnsyncedRecords()
+		}
+	}
+	return qs
 }
 
 // PoolDepth reports the deepest validator pool backlog.

@@ -33,6 +33,7 @@ import (
 	"github.com/coconut-bench/coconut/internal/network"
 	"github.com/coconut-bench/coconut/internal/statestore"
 	"github.com/coconut-bench/coconut/internal/systems"
+	"github.com/coconut-bench/coconut/internal/trace"
 	"github.com/coconut-bench/coconut/internal/wal"
 )
 
@@ -61,6 +62,9 @@ type Config struct {
 	// WAL, when set, mounts a write-ahead log on every validator's commit
 	// gate (see systems.DurableGate).
 	WAL *wal.Options
+	// Trace, when set, receives sampled spans: consensus rounds, WAL
+	// appends/fsyncs, and (on a private transport) network hops.
+	Trace *trace.Tracer
 }
 
 func (c *Config) fill() {
@@ -135,6 +139,9 @@ func New(cfg Config) *Network {
 	if cfg.Transport == nil {
 		n.transport = network.NewTransport(cfg.Clock, nil)
 		n.ownTransport = true
+		if cfg.Trace != nil {
+			n.transport.SetTracer(cfg.Trace, systems.NameSawtooth)
+		}
 	} else {
 		n.transport = cfg.Transport
 	}
@@ -154,6 +161,7 @@ func New(cfg Config) *Network {
 		}
 		if cfg.WAL != nil {
 			v.gate.Enable(cfg.Clock, wal.New(names[i], *cfg.WAL, cfg.Clock))
+			v.gate.Trace(cfg.Trace, systems.NameSawtooth, names[i])
 		}
 		v.engine = pbft.New(pbft.Config{
 			ID:        v.id,
@@ -400,6 +408,12 @@ func (n *Network) applyDecision(v *validator, d consensus.Decision) {
 	if err := v.ledger.Append(cb); err != nil {
 		return
 	}
+	// One consensus-round span per sampled block, emitted at validator 0's
+	// apply site only (every validator applies the identical decision).
+	if tr := n.cfg.Trace; v == n.validators[0] && tr.Sampled(cb.Number) {
+		tr.Add(trace.Span{Name: "round", Cat: "consensus", Proc: systems.NameSawtooth,
+			Lane: "consensus", Start: blk.PublishedAt.UnixNano(), End: decided.UnixNano(), Block: cb.Number})
+	}
 	now := n.cfg.Clock.Now()
 	for txNum, batch := range survivingBatches {
 		for _, tx := range batch.Txs {
@@ -553,6 +567,24 @@ func (n *Network) Drained() bool {
 		}
 	}
 	return true
+}
+
+// QueueSnapshot implements systems.QueueReporter: hub in-flight, batch
+// queue backlog summed across validators, and gate/WAL occupancy.
+func (n *Network) QueueSnapshot() systems.QueueStats {
+	qs := systems.QueueStats{
+		HubInflight: n.hub.PendingCount(),
+		NetPending:  n.transport.PendingCount(),
+	}
+	for _, v := range n.validators {
+		qs.MempoolDepth += v.queue.Len()
+		qs.GateBacklog += v.gate.Backlog()
+		if log := v.gate.WAL(); log != nil {
+			qs.WALLiveBytes += int64(log.Stats().LiveBytes)
+			qs.WALUnsynced += log.UnsyncedRecords()
+		}
+	}
+	return qs
 }
 
 // QueueStats aggregates admission counters across validators.

@@ -180,6 +180,41 @@ type Quiescer interface {
 	Drained() bool
 }
 
+// QueueStats is one instantaneous occupancy snapshot of a driver's
+// queueing and durability planes. The telemetry sampler reads it on the
+// driver clock once per Timeline window, so queue growth and saturation
+// are visible over a run instead of only as end-of-run totals. Fields a
+// system has no equivalent for stay zero (Corda has no transport, so
+// NetPending is 0).
+type QueueStats struct {
+	// HubInflight is the commit hub's in-flight transaction count:
+	// submitted work not yet persisted on every node.
+	HubInflight int
+	// MempoolDepth is the pending-transaction backlog summed across the
+	// nodes' admission queues (pools, ingress queues, flow mailboxes).
+	MempoolDepth int
+	// GateBacklog is the commit work buffered behind crashed nodes' gates
+	// plus any in-flight replay remainder.
+	GateBacklog int
+	// WALLiveBytes is the live write-ahead-log footprint summed across
+	// nodes (0 when durability is disabled).
+	WALLiveBytes int64
+	// WALUnsynced is the appended-but-not-fsynced record tail summed
+	// across nodes: what a crash right now would lose.
+	WALUnsynced int
+	// NetPending is the transport's scheduled-but-undelivered message
+	// count (the timing wheel's backlog).
+	NetPending int64
+}
+
+// QueueReporter is optionally implemented by drivers that can snapshot
+// their queue/resource occupancy. All seven built-in drivers implement it.
+// (The method is named QueueSnapshot because several drivers already
+// expose admission counters under QueueStats-like names.)
+type QueueReporter interface {
+	QueueSnapshot() QueueStats
+}
+
 // Registry of canonical system names used in reports.
 const (
 	NameCordaOS   = "Corda OS"

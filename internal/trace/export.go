@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteJSON exports the retained spans as a Chrome trace-event JSON array
+// (the "JSON Array Format" chrome://tracing and Perfetto load directly).
+// Processes are the span Proc values, threads the Lane values within each
+// process; both get metadata name events so Perfetto labels the tracks.
+//
+// Output is a pure function of the span set: spans are totally ordered
+// before emission and pid/tid assignment follows sorted name order, so two
+// runs recording the same spans — regardless of goroutine interleaving —
+// produce byte-identical files. Timestamps are rebased to the earliest
+// span so virtual-clock epochs don't produce astronomical offsets.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	var spans []Span
+	if t != nil {
+		spans = t.snapshot()
+	}
+	sortSpans(spans)
+
+	// pid per sorted Proc, tid per sorted (Proc, Lane), both 1-based.
+	pids := make(map[string]int)
+	tids := make(map[string]int)
+	var procs []string
+	type laneKey struct{ proc, lane string }
+	var lanes []laneKey
+	seenLane := make(map[laneKey]bool)
+	for _, s := range spans {
+		if _, ok := pids[s.Proc]; !ok {
+			pids[s.Proc] = 0
+			procs = append(procs, s.Proc)
+		}
+		lk := laneKey{s.Proc, s.Lane}
+		if !seenLane[lk] {
+			seenLane[lk] = true
+			lanes = append(lanes, lk)
+		}
+	}
+	sort.Strings(procs)
+	for i, p := range procs {
+		pids[p] = i + 1
+	}
+	sort.Slice(lanes, func(i, j int) bool {
+		if lanes[i].proc != lanes[j].proc {
+			return lanes[i].proc < lanes[j].proc
+		}
+		return lanes[i].lane < lanes[j].lane
+	})
+	for i, lk := range lanes {
+		tids[lk.proc+"\x00"+lk.lane] = i + 1
+	}
+
+	var base int64
+	if len(spans) > 0 {
+		base = spans[0].Start
+		for _, s := range spans {
+			if s.Start < base {
+				base = s.Start
+			}
+		}
+	}
+
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	first := true
+	sep := func() error {
+		if first {
+			first = false
+			return nil
+		}
+		_, err := bw.WriteString(",\n")
+		return err
+	}
+	for _, p := range procs {
+		if err := sep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`, pids[p], p); err != nil {
+			return err
+		}
+	}
+	for _, lk := range lanes {
+		if err := sep(); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(bw, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%q}}`,
+			pids[lk.proc], tids[lk.proc+"\x00"+lk.lane], lk.lane); err != nil {
+			return err
+		}
+	}
+	for _, s := range spans {
+		if err := sep(); err != nil {
+			return err
+		}
+		ts := s.Start - base
+		dur := s.End - s.Start
+		if _, err := fmt.Fprintf(bw, `{"name":%q,"cat":%q,"ph":"X","pid":%d,"tid":%d,"ts":%s,"dur":%s,"args":{"txid":"%016x","block":%d}}`,
+			s.Name, s.Cat, pids[s.Proc], tids[s.Proc+"\x00"+s.Lane], micros(ts), micros(dur), s.Key, s.Block); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// micros renders nanoseconds as a decimal microsecond literal with
+// nanosecond precision ("1234.567"), avoiding float formatting entirely so
+// the output is stable.
+func micros(ns int64) string {
+	neg := ""
+	if ns < 0 {
+		neg, ns = "-", -ns
+	}
+	return fmt.Sprintf("%s%d.%03d", neg, ns/1000, ns%1000)
+}
+
+// sortSpans imposes a total order covering every field, so equal span sets
+// sort identically regardless of recording order.
+func sortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End < b.End
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Lane != b.Lane {
+			return a.Lane < b.Lane
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Block < b.Block
+	})
+}
+
+// Exemplar names one sampled transaction worth opening in the trace
+// viewer: its rendered trace ID and end-to-end extent.
+type Exemplar struct {
+	// Label is the percentile the transaction exemplifies: "p50", "p99",
+	// or "max".
+	Label string
+	// TxID is the rendered trace key (%016x) — searchable in Perfetto via
+	// the span args.
+	TxID string
+	// Seconds is the transaction's end-to-end extent (first span start to
+	// last span end).
+	Seconds float64
+}
+
+// Exemplars picks the p50, p99, and maximum end-to-end-latency sampled
+// transactions, computed over each transaction-keyed span group's extent.
+// Deterministic: ties break on the transaction key. Nil when no
+// transaction spans were recorded.
+func (t *Tracer) Exemplars() []Exemplar {
+	if t == nil {
+		return nil
+	}
+	spans := t.snapshot()
+	type extent struct{ min, max int64 }
+	byKey := make(map[uint64]*extent)
+	for _, s := range spans {
+		if s.Key == 0 {
+			continue
+		}
+		e := byKey[s.Key]
+		if e == nil {
+			byKey[s.Key] = &extent{s.Start, s.End}
+			continue
+		}
+		if s.Start < e.min {
+			e.min = s.Start
+		}
+		if s.End > e.max {
+			e.max = s.End
+		}
+	}
+	if len(byKey) == 0 {
+		return nil
+	}
+	type kd struct {
+		key uint64
+		dur int64
+	}
+	all := make([]kd, 0, len(byKey))
+	for k, e := range byKey {
+		all = append(all, kd{k, e.max - e.min})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].dur != all[j].dur {
+			return all[i].dur < all[j].dur
+		}
+		return all[i].key < all[j].key
+	})
+	pick := func(label string, idx int) Exemplar {
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(all) {
+			idx = len(all) - 1
+		}
+		return Exemplar{
+			Label:   label,
+			TxID:    fmt.Sprintf("%016x", all[idx].key),
+			Seconds: float64(all[idx].dur) / 1e9,
+		}
+	}
+	return []Exemplar{
+		pick("p50", len(all)/2),
+		pick("p99", len(all)*99/100),
+		pick("max", len(all)-1),
+	}
+}

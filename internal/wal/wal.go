@@ -553,6 +553,15 @@ func (l *Log) Stats() Stats {
 	}
 }
 
+// UnsyncedRecords reports the appended-but-not-yet-synced tail: the
+// records a crash at this instant would lose. It is the gauge the
+// telemetry plane samples per window.
+func (l *Log) UnsyncedRecords() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return int(l.seq - l.durableSeq)
+}
+
 // frame builds one framed record for seq covering n entries.
 func (l *Log) frame(seq uint64, entries int) []byte {
 	plen := payloadHeader + entries*l.opts.BytesPerEntry

@@ -1,0 +1,59 @@
+#!/bin/sh
+# lint-telemetry.sh enforces the observability contract's source-level
+# rule: instrumented packages never mint their own telemetry. Queue and
+# resource gauges live in the internal/coconut registry (GaugeSample
+# indices + GaugeNames) and are sampled by the runner's gauge actor;
+# traces come from the single trace.Tracer the caller wires through each
+# driver's Config.Trace. A package that calls trace.New or builds its own
+# coconut.GaugeSeries would create a second telemetry plane: unsampled by
+# the runner, invisible to benchjson and the report's queue-growth
+# section, and a determinism hazard (a second tracer double-advances the
+# counter-sampled wal:append and network-hop span sequences).
+#
+# Exemptions:
+#   - internal/coconut/ (owns the gauge registry and the sampler actor)
+#   - internal/trace/ (the tracer's own package)
+#   - _test.go files (tests construct tracers and series freely)
+#   - cmd/ is out of scope: CLIs are the sanctioned tracer constructors
+set -eu
+cd "$(dirname "$0")/.."
+
+# trace.New( — minting a second tracer; coconut.GaugeSample{ /
+# coconut.GaugeSeries{ — hand-built gauge telemetry bypassing the
+# sampler; expvar. — ad-hoc process-global counters outside the registry.
+pattern='(trace\.New\(|coconut\.GaugeSeries\{|coconut\.GaugeSample\{|expvar\.)'
+
+scan() {
+    grep -rEn "$pattern" \
+        --include='*.go' \
+        --exclude='*_test.go' \
+        "$@" 2>/dev/null |
+        grep -v 'internal/trace/' |
+        grep -v 'internal/coconut/' || true
+}
+
+# Self-test: prove the pattern still catches a known violation before
+# trusting a clean scan of the real tree.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT INT TERM
+mkdir -p "$tmp/selftest"
+cat > "$tmp/selftest/bad.go" <<'EOF'
+package selftest
+
+var badTracer = trace.New(trace.Options{})
+var badSeries = coconut.GaugeSeries{}
+EOF
+if [ "$(scan "$tmp/selftest" | wc -l)" -ne 2 ]; then
+    echo "lint-telemetry: self-test failed (pattern missed a known violation)" >&2
+    exit 1
+fi
+
+hits=$(scan internal/ examples/)
+
+if [ -n "$hits" ]; then
+    echo "lint-telemetry: ad-hoc telemetry outside the registry/tracer boundary:" >&2
+    echo "$hits" >&2
+    echo "gauges go through the internal/coconut registry (sampled by the runner); traces through the injected Config.Trace tracer" >&2
+    exit 1
+fi
+echo "lint-telemetry: ok"
