@@ -1,3 +1,3 @@
 module github.com/coconut-bench/coconut
 
-go 1.21
+go 1.22

@@ -1,0 +1,62 @@
+package vet
+
+import (
+	"go/ast"
+)
+
+// GlobalRand protects the SplitMix64 per-thread determinism contract
+// from PR 4: every random draw in a run must come from a stream seeded
+// by (seed, thread index), so equal seeds give equal sequences. The
+// math/rand top-level functions draw from the process-global RNG —
+// shared, lock-contended, and unseedable per run — and a rand.New whose
+// source is not visibly a rand.NewSource(...) cannot be audited for
+// seeding. Workload RNG-stream constructors (internal/workload) are the
+// sanctioned home for stream derivation and are exempted by driver
+// policy.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc: "flags math/rand global-RNG functions and rand.New calls without an inline rand.NewSource seed " +
+		"(per-thread RNG-stream determinism contract, PR 4)",
+	Run: runGlobalRand,
+}
+
+func runGlobalRand(pass *Pass) (interface{}, error) {
+	info := pass.TypesInfo
+	for _, randPkg := range []string{"math/rand", "math/rand/v2"} {
+		randPkg := randPkg
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != randPkg {
+					return true
+				}
+				if !isPkgFunc(fn, randPkg, fn.Name()) {
+					return true // methods on *rand.Rand are stream draws: fine
+				}
+				switch fn.Name() {
+				case "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+					// Constructors taking or producing explicit sources.
+				case "New":
+					if len(call.Args) == 1 {
+						if src, ok := ast.Unparen(call.Args[0]).(*ast.CallExpr); ok {
+							if _, seeded := pkgFuncCall(info, src, randPkg, "NewSource", "NewPCG", "NewChaCha8"); seeded {
+								return true
+							}
+						}
+					}
+					pass.Reportf(call.Pos(),
+						"rand.New with a source that is not an inline rand.NewSource(seed): seeding cannot be audited; construct seeded streams inline or via the internal/workload RNG-stream constructors (PR 4)")
+				default:
+					pass.Reportf(call.Pos(),
+						"math/rand global %s draws from the process-global RNG and breaks per-thread stream determinism; use a rand.New(rand.NewSource(seed)) stream (PR 4)", fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}

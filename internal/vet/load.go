@@ -1,0 +1,284 @@
+package vet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	GoFiles    []string // absolute paths, parallel to Files
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	Module     *struct{ Path string }
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// exportImporter resolves imports from compiler export data, the same
+// mechanism x/tools/go/packages uses (gcexportdata): `go list -export`
+// writes each dependency's export file into the build cache and we hand
+// the stdlib gc importer a lookup over those files.
+type exportImporter struct {
+	exports map[string]string // import path -> export data file
+	gc      types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	ei := &exportImporter{exports: exports}
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := ei.exports[path]
+		if !ok || f == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	ei.gc = importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+	return ei
+}
+
+func (ei *exportImporter) Import(path string) (*types.Package, error) {
+	return ei.ImportFrom(path, "", 0)
+}
+
+func (ei *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	return ei.gc.ImportFrom(path, dir, mode)
+}
+
+// listCache memoizes go-list invocations per (dir, patterns): the
+// analysistest suites load a dozen fixtures against the same module
+// graph, and the tree does not change within one driver process.
+var listCache sync.Map
+
+// goList runs `go list -deps -export -json` in dir over patterns and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]*listedPkg, error) {
+	key := dir + "\x00" + strings.Join(patterns, "\x00")
+	if v, ok := listCache.Load(key); ok {
+		return v.([]*listedPkg), nil
+	}
+	pkgs, err := goListUncached(dir, patterns)
+	if err == nil {
+		listCache.Store(key, pkgs)
+	}
+	return pkgs, err
+}
+
+func goListUncached(dir string, patterns []string) ([]*listedPkg, error) {
+	args := append([]string{"list", "-e", "-deps", "-export", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listedPkg
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listedPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return nil, fmt.Errorf("go list: decoding: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// exportMap indexes export-data files by import path, including each
+// package's ImportMap aliases (vendored stdlib paths).
+func exportMap(pkgs []*listedPkg) map[string]string {
+	m := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			m[p.ImportPath] = p.Export
+		}
+	}
+	for _, p := range pkgs {
+		for from, to := range p.ImportMap {
+			if ex, ok := m[to]; ok {
+				m[from] = ex
+			}
+		}
+	}
+	return m
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// parseFiles parses the named files (absolute paths) with comments.
+func parseFiles(fset *token.FileSet, files []string) ([]*ast.File, error) {
+	var out []*ast.File
+	for _, f := range files {
+		af, err := parser.ParseFile(fset, f, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, af)
+	}
+	return out, nil
+}
+
+// LoadPatterns loads and type-checks from source every package matched
+// by the go-list patterns, resolving dependencies (stdlib and module
+// alike) through compiler export data. moduleRoot is the directory the
+// patterns are interpreted in.
+func LoadPatterns(moduleRoot string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(moduleRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := exportMap(listed)
+
+	// -deps lists the whole graph; the analysis roots are the non-stdlib
+	// module packages that match the patterns. go list marks roots
+	// implicitly: re-list without -deps would be a second process, so
+	// instead treat every listed package belonging to this module as a
+	// root — for the ./... patterns the driver uses they coincide.
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.Module == nil || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		abs := make([]string, len(lp.GoFiles))
+		for i, f := range lp.GoFiles {
+			abs[i] = filepath.Join(lp.Dir, f)
+		}
+		files, err := parseFiles(fset, abs)
+		if err != nil {
+			return nil, err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp, FakeImportC: true}
+		tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", lp.ImportPath, err)
+		}
+		out = append(out, &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      files,
+			GoFiles:    abs,
+			Types:      tpkg,
+			Info:       info,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// LoadDir loads one directory of Go files that is not a go-list package
+// (a testdata fixture tree), type-checking it against the module's
+// dependency graph plus whatever stdlib packages the fixture imports.
+// asPath is the import path the fixture pretends to have, so path-based
+// policy can be exercised in tests.
+func LoadDir(moduleRoot, dir, asPath string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var goFiles []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		goFiles = append(goFiles, filepath.Join(dir, name))
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	sort.Strings(goFiles)
+
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, goFiles)
+	if err != nil {
+		return nil, err
+	}
+
+	// The fixture's imports drive what must be listed: the module graph
+	// (./...) covers internal packages, and any stdlib import the module
+	// does not already use is appended explicitly.
+	patterns := []string{"./..."}
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, im := range f.Imports {
+			p := strings.Trim(im.Path.Value, `"`)
+			if p == "C" || seen[p] || strings.HasPrefix(p, modulePath) {
+				continue
+			}
+			seen[p] = true
+			patterns = append(patterns, p)
+		}
+	}
+	listed, err := goList(moduleRoot, patterns)
+	if err != nil {
+		return nil, err
+	}
+	imp := newExportImporter(fset, exportMap(listed))
+	info := newInfo()
+	conf := types.Config{Importer: imp, FakeImportC: true}
+	tpkg, err := conf.Check(asPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", dir, err)
+	}
+	return &Package{
+		ImportPath: asPath,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		GoFiles:    goFiles,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}

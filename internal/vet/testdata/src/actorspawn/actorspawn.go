@@ -1,0 +1,44 @@
+// Fixture for the actorspawn analyzer: goroutines spawned in clock-actor
+// packages must be announced with clock.Fork (and register with
+// clock.RegisterForked) so the AutoVirtual quiescence detector can see
+// them — a bare `go` is invisible and lets virtual time jump over live
+// work (PR 6).
+package fixture
+
+import (
+	"github.com/coconut-bench/coconut/internal/clock"
+)
+
+func worker(c clock.Clock) { c.Sleep(1) }
+
+func bare(c clock.Clock) {
+	go worker(c) // want `bare go statement in a clock-actor package`
+}
+
+func bareClosure(c clock.Clock) {
+	go func() { // want `bare go statement in a clock-actor package`
+		worker(c)
+	}()
+}
+
+// The repo idiom: Fork announces the spawns that follow.
+func forked(c clock.Clock) {
+	clock.Fork(c, 1)
+	go worker(c)
+}
+
+func forkedLoop(c clock.Clock, n int) {
+	clock.Fork(c, n)
+	for i := 0; i < n; i++ {
+		go worker(c)
+	}
+}
+
+// A closure that registers itself as a forked actor is also visible.
+func selfRegistering(c clock.Clock) {
+	go func() {
+		h := clock.RegisterForked(c, "w")
+		defer h.Close()
+		worker(c)
+	}()
+}

@@ -1,0 +1,31 @@
+// Fixture for the directio analyzer: direct mutating filesystem calls,
+// including the alias-import case the retired grep (pattern
+// `os\.(Create|...)\(`) provably missed.
+package fixture
+
+import (
+	"os"
+
+	osfs "os"
+)
+
+func writes() error {
+	if err := os.WriteFile("x", nil, 0o644); err != nil { // want `direct filesystem write: os.WriteFile`
+		return err
+	}
+	_, _ = os.Create("y")      // want `direct filesystem write: os.Create`
+	_ = os.MkdirAll("d", 0)    // want `direct filesystem write: os.MkdirAll`
+	return os.Rename("x", "z") // want `direct filesystem write: os.Rename`
+}
+
+func aliased() error {
+	return osfs.Remove("x") // want `direct filesystem write: os.Remove`
+}
+
+// Reads are fine and not matched.
+func reads() ([]byte, error) {
+	if f, err := os.Open("x"); err == nil {
+		f.Close()
+	}
+	return os.ReadFile("x")
+}

@@ -1,0 +1,35 @@
+// Fixture for the globalrand analyzer: the SplitMix64 per-thread
+// determinism contract (PR 4) requires every draw to come from a stream
+// seeded by (seed, thread index). The math/rand top-level functions draw
+// from the process-global RNG; a rand.New whose source is not an inline
+// rand.NewSource cannot be audited for seeding.
+package fixture
+
+import (
+	"math/rand"
+
+	mr "math/rand"
+)
+
+func global() {
+	_ = rand.Intn(10)                  // want `math/rand global Intn draws from the process-global RNG`
+	_ = rand.Float64()                 // want `math/rand global Float64`
+	rand.Shuffle(3, func(i, j int) {}) // want `math/rand global Shuffle`
+}
+
+func aliased() int64 {
+	return mr.Int63() // want `math/rand global Int63`
+}
+
+func unauditable(seed int64) *rand.Rand {
+	src := rand.NewSource(seed)
+	return rand.New(src) // want `rand.New with a source that is not an inline rand.NewSource`
+}
+
+// Inline-seeded streams and their method draws are the contract: fine.
+func seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(r, 1.1, 1, 100)
+	_ = z.Uint64()
+	return r.Intn(10)
+}

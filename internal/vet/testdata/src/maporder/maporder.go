@@ -1,0 +1,71 @@
+// Fixture for the maporder analyzer: map iteration leaking random key
+// order into report/export bytes — the class PR 9's trace exporter and
+// the EXPERIMENTS.md writers had to hand-fix — versus the sanctioned
+// collect-keys-then-sort idiom.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func directWrite(w io.Writer, m map[string]int) {
+	for k, v := range m { // want `map iterated in nondeterministic key order while its body writes to an io.Writer`
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func directPrint(m map[string]int) {
+	for k := range m { // want `map iterated in nondeterministic key order`
+		fmt.Println(k)
+	}
+}
+
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iterated in nondeterministic key order`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+func unsortedJSON(m map[string]int) []byte {
+	var keys []string
+	for k := range m { // want `slice keys collected from a map range is encoded/written without an intervening sort`
+		keys = append(keys, k)
+	}
+	out, _ := json.Marshal(keys)
+	return out
+}
+
+func unsortedEncoder(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m { // want `slice keys collected from a map range is encoded/written without an intervening sort`
+		keys = append(keys, k)
+	}
+	json.NewEncoder(w).Encode(keys)
+}
+
+// The sanctioned idiom: collect, sort, then write. No findings.
+func sortedWrite(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}
+
+// Order-independent folds over a map are fine.
+func sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

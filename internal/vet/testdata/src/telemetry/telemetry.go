@@ -1,0 +1,22 @@
+// Fixture for the telemetry analyzer: minting a second tracer,
+// hand-building gauge telemetry, and expvar counters — including an
+// aliased trace import the retired grep (pattern `trace\.New\(`)
+// provably missed.
+package fixture
+
+import (
+	"expvar"
+
+	"github.com/coconut-bench/coconut/internal/coconut"
+	tr "github.com/coconut-bench/coconut/internal/trace"
+)
+
+var secondTracer = tr.New(tr.Options{SampleEvery: 1}) // want `second tracer minted with trace.New`
+
+func handRolled() coconut.GaugeSeries {
+	s := coconut.GaugeSeries{}           // want `hand-built coconut.GaugeSeries bypasses the gauge registry`
+	s = append(s, coconut.GaugeSample{}) // want `hand-built coconut.GaugeSample bypasses the gauge registry`
+	return s
+}
+
+var requests = expvar.NewInt("requests") // want `expvar use`

@@ -1,0 +1,29 @@
+// Fixture for the walltime analyzer: direct wall-clock use, including
+// the alias-import case the retired grep (pattern `time\.(Now|...)\(`)
+// provably missed — `wt.Now()` never contains the literal text "time.".
+package fixture
+
+import (
+	"time"
+
+	wt "time"
+)
+
+func direct() {
+	_ = time.Now()               // want `direct wall-clock use: time.Now`
+	time.Sleep(time.Millisecond) // want `direct wall-clock use: time.Sleep`
+	<-time.After(time.Second)    // want `direct wall-clock use: time.After`
+	_ = time.NewTicker(1)        // want `direct wall-clock use: time.NewTicker`
+}
+
+func aliased(t time.Time) {
+	_ = wt.Now()             // want `direct wall-clock use: time.Now`
+	wt.Sleep(wt.Millisecond) // want `direct wall-clock use: time.Sleep`
+	_ = wt.Since(t)          // want `direct wall-clock use: time.Since`
+}
+
+// Methods on time values are arithmetic, not clock reads: no findings.
+func methodsAreFine(t, u time.Time, d time.Duration) bool {
+	_ = t.Add(d)
+	return t.After(u)
+}

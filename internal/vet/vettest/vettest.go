@@ -1,0 +1,130 @@
+// Package vettest runs internal/vet analyzers over testdata fixture
+// packages and checks their diagnostics against `// want` expectation
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	time.Sleep(d) // want `direct wall-clock use`
+//
+// The string after `want` is a Go string literal (quoted or backquoted)
+// holding a regular expression that must match a diagnostic reported on
+// that line; every diagnostic must be matched by a want, and every want
+// must match a diagnostic.
+package vettest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/coconut-bench/coconut/internal/vet"
+)
+
+// ModuleRoot locates the enclosing module (the directory holding
+// go.mod), starting from the test's working directory.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above test working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run loads testdata/src/<fixture> relative to dir (or an absolute
+// fixture path), applies exactly the one analyzer with no driver
+// policy, and diffs diagnostics against the fixture's want comments.
+// It returns the driver result for further assertions.
+func Run(t *testing.T, a *vet.Analyzer, fixture string) *vet.Result {
+	t.Helper()
+	root := ModuleRoot(t)
+	dir := fixture
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(root, "internal", "vet", "testdata", "src", fixture)
+	}
+	pkg, err := vet.LoadDir(root, dir, "fixture/"+filepath.Base(dir))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	res := vet.RunAnalyzers([]*vet.Package{pkg}, []*vet.Analyzer{a}, nil)
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(wants))
+	for _, f := range res.Findings {
+		ok := false
+		for i, w := range wants {
+			if matched[i] || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				matched[i] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s",
+				filepath.Base(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("%s:%d: want %q: no matching diagnostic",
+				filepath.Base(w.file), w.line, w.re)
+		}
+	}
+	return res
+}
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`// want (.*)$`)
+
+func collectWants(t *testing.T, pkg *vet.Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				lit := strings.TrimSpace(m[1])
+				pat, err := unquoteWant(lit)
+				if err != nil {
+					t.Fatalf("%s: bad want literal %s: %v", pkg.Fset.Position(c.Pos()), lit, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), pat, err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				out = append(out, want{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func unquoteWant(lit string) (string, error) {
+	if len(lit) >= 2 && (lit[0] == '`' || lit[0] == '"') {
+		return strconv.Unquote(lit)
+	}
+	return "", fmt.Errorf("want expectation must be a quoted or backquoted string")
+}
